@@ -1,0 +1,238 @@
+//! Bootstrap confidence intervals for medians and quantiles.
+//!
+//! The experiment tables report medians over a modest number of trials.
+//! Normal-approximation intervals (as in
+//! [`crate::stats::Summary::ci95_half_width`]) are fine for means but not
+//! for medians of skewed stabilisation-time distributions; the percentile
+//! bootstrap makes no shape assumption and is the standard tool. All
+//! resampling is driven by the workspace RNG, so intervals are
+//! reproducible per seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_analysis::bootstrap::{bootstrap_ci, BootstrapOptions};
+//!
+//! let sample: Vec<f64> = (1..=100).map(f64::from).collect();
+//! let ci = bootstrap_ci(
+//!     &sample,
+//!     |xs| ssr_analysis::stats::Summary::of(xs).median,
+//!     &BootstrapOptions::default(),
+//! );
+//! assert!(ci.lower <= ci.point && ci.point <= ci.upper);
+//! ```
+
+use ssr_engine::rng::Xoshiro256;
+
+/// Tuning knobs for the percentile bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapOptions {
+    /// Number of bootstrap resamples (default 1000).
+    pub resamples: usize,
+    /// Two-sided confidence level in `(0, 1)` (default 0.95).
+    pub confidence: f64,
+    /// RNG seed (default 0x0b00_75fa9).
+    pub seed: u64,
+}
+
+impl Default for BootstrapOptions {
+    fn default() -> Self {
+        BootstrapOptions {
+            resamples: 1000,
+            confidence: 0.95,
+            seed: 0x0b00_75fa9,
+        }
+    }
+}
+
+/// A point estimate with a two-sided bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The statistic evaluated on the full sample.
+    pub point: f64,
+    /// Lower confidence bound.
+    pub lower: f64,
+    /// Upper confidence bound.
+    pub upper: f64,
+    /// The confidence level the bounds were computed for.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half the interval width.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether `x` falls inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        self.lower <= x && x <= self.upper
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} [{:.3}, {:.3}] @ {:.0}%",
+            self.point,
+            self.lower,
+            self.upper,
+            self.confidence * 100.0
+        )
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// Draws `resamples` with-replacement resamples of `sample`, evaluates
+/// `statistic` on each, and returns the empirical
+/// `(1±confidence)/2`-quantiles of those evaluations around the full-sample
+/// point estimate.
+///
+/// # Panics
+///
+/// Panics if `sample` is empty, `resamples == 0`, or `confidence` is not
+/// in `(0, 1)`.
+pub fn bootstrap_ci<F>(sample: &[f64], statistic: F, opts: &BootstrapOptions) -> ConfidenceInterval
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!sample.is_empty(), "cannot bootstrap an empty sample");
+    assert!(opts.resamples > 0, "need at least one resample");
+    assert!(
+        opts.confidence > 0.0 && opts.confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let point = statistic(sample);
+    let n = sample.len();
+    let mut rng = Xoshiro256::seed_from_u64(opts.seed);
+    let mut resample = vec![0.0; n];
+    let mut stats = Vec::with_capacity(opts.resamples);
+    for _ in 0..opts.resamples {
+        for slot in resample.iter_mut() {
+            *slot = sample[rng.below_usize(n)];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic returned NaN"));
+    let alpha = (1.0 - opts.confidence) / 2.0;
+    let lo_idx = ((alpha * opts.resamples as f64) as usize).min(opts.resamples - 1);
+    let hi_idx = (((1.0 - alpha) * opts.resamples as f64) as usize).min(opts.resamples - 1);
+    ConfidenceInterval {
+        point,
+        lower: stats[lo_idx],
+        upper: stats[hi_idx],
+        confidence: opts.confidence,
+    }
+}
+
+/// Convenience wrapper: percentile-bootstrap CI for the sample median.
+pub fn median_ci(sample: &[f64], opts: &BootstrapOptions) -> ConfidenceInterval {
+    bootstrap_ci(sample, |xs| crate::stats::Summary::of(xs).median, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn interval_brackets_point_estimate() {
+        let ci = median_ci(&uniform_sample(101), &BootstrapOptions::default());
+        assert!(ci.lower <= ci.point);
+        assert!(ci.point <= ci.upper);
+        assert!(ci.contains(ci.point));
+        assert_eq!(ci.point, 50.0);
+    }
+
+    #[test]
+    fn interval_shrinks_with_sample_size() {
+        let small = median_ci(&uniform_sample(20), &BootstrapOptions::default());
+        // Same spread per element (values scaled to match range).
+        let big: Vec<f64> = (0..2000).map(|i| i as f64 / 100.0).collect();
+        let big = median_ci(&big, &BootstrapOptions::default());
+        assert!(
+            big.half_width() < small.half_width(),
+            "big {:.3} vs small {:.3}",
+            big.half_width(),
+            small.half_width()
+        );
+    }
+
+    #[test]
+    fn higher_confidence_widens_interval() {
+        let sample = uniform_sample(50);
+        let narrow = median_ci(
+            &sample,
+            &BootstrapOptions {
+                confidence: 0.5,
+                ..Default::default()
+            },
+        );
+        let wide = median_ci(
+            &sample,
+            &BootstrapOptions {
+                confidence: 0.99,
+                ..Default::default()
+            },
+        );
+        assert!(wide.half_width() >= narrow.half_width());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sample = uniform_sample(30);
+        let a = median_ci(&sample, &BootstrapOptions::default());
+        let b = median_ci(&sample, &BootstrapOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_sample_gives_degenerate_interval() {
+        let ci = median_ci(&[7.0; 25], &BootstrapOptions::default());
+        assert_eq!(ci.point, 7.0);
+        assert_eq!(ci.lower, 7.0);
+        assert_eq!(ci.upper, 7.0);
+        assert_eq!(ci.half_width(), 0.0);
+    }
+
+    #[test]
+    fn works_for_other_statistics() {
+        let sample = uniform_sample(64);
+        let ci = bootstrap_ci(
+            &sample,
+            |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+            &BootstrapOptions::default(),
+        );
+        assert!((ci.point - 31.5).abs() < 1e-12);
+        assert!(ci.contains(31.5));
+    }
+
+    #[test]
+    fn display_mentions_confidence() {
+        let ci = median_ci(&uniform_sample(10), &BootstrapOptions::default());
+        assert!(ci.to_string().contains("95%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_rejected() {
+        median_ci(&[], &BootstrapOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_rejected() {
+        median_ci(
+            &[1.0],
+            &BootstrapOptions {
+                confidence: 1.0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Summary statistics for trial measurements.
+//!
+//! The paper's guarantees are "with high probability" bounds; experiments
+//! therefore report distributional summaries (median, p95, max) over many
+//! independent trials rather than single runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_analysis::stats::Summary;
+//!
+//! let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(s.mean, 2.5);
+//! assert_eq!(s.min, 1.0);
+//! assert_eq!(s.max, 4.0);
+//! assert_eq!(s.median, 2.5);
+//! ```
+
+/// Distributional summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (midpoint-interpolated).
+    pub median: f64,
+    /// 95th percentile (linear interpolation).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarise a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains NaN.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "cannot summarise an empty sample");
+        assert!(xs.iter().all(|x| !x.is_nan()), "sample contains NaN");
+        let count = xs.len();
+        let mean = xs.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: quantile_sorted(&sorted, 0.5),
+            p95: quantile_sorted(&sorted, 0.95),
+        }
+    }
+
+    /// Arbitrary quantile `q ∈ [0, 1]` of the same sample distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(xs: &[f64], q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        assert!(!xs.is_empty());
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        quantile_sorted(&sorted, q)
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval for
+    /// the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// Linear-interpolated quantile of a pre-sorted slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Empirical success probability with a Wilson-score 95% lower bound —
+/// used to certify "whp" claims from trial batches.
+///
+/// # Examples
+///
+/// ```
+/// let (p, lower) = ssr_analysis::stats::success_probability(98, 100);
+/// assert!(p > 0.97 && lower > 0.9);
+/// ```
+pub fn success_probability(successes: usize, trials: usize) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 0.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = 1.96f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = p + z2 / (2.0 * n);
+    let margin = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt();
+    (p, ((centre - margin) / denom).max(0.0))
+}
+
+/// The paper's §7 Chernoff corollary: randomly distributing `s` tokens
+/// among `m` lines, with `µ = s/m`, each line receives whp (`1 − n^{−η}`)
+/// at most `(1 + 2η)µ` tokens when `µ > ln n`, and at most `µ + 2η ln n`
+/// tokens when `µ ≤ ln n`. Returns that cap.
+///
+/// # Examples
+///
+/// ```
+/// let cap = ssr_analysis::stats::chernoff_token_cap(1000, 10, 1.0, 100);
+/// assert!(cap >= 100.0); // µ = 100 > ln 100 → cap = 3µ
+/// ```
+pub fn chernoff_token_cap(s: u64, m: u64, eta: f64, n: u64) -> f64 {
+    assert!(m > 0, "need at least one line");
+    let mu = s as f64 / m as f64;
+    let ln_n = (n.max(2) as f64).ln();
+    if mu > ln_n {
+        (1.0 + 2.0 * eta) * mu
+    } else {
+        mu + 2.0 * eta * ln_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p95, 3.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(Summary::quantile(&xs, 0.0), 10.0);
+        assert_eq!(Summary::quantile(&xs, 1.0), 40.0);
+        assert!((Summary::quantile(&xs, 0.5) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let few = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let many = Summary::of(&many);
+        assert!(many.ci95_half_width() < few.ci95_half_width());
+    }
+
+    #[test]
+    fn chernoff_cap_is_rarely_exceeded() {
+        // Empirical check of Corollary 1: throw S tokens uniformly at M
+        // lines and count violations of the cap with η = 1.
+        use ssr_engine::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let (s, m, n) = (2000u64, 20u64, 400u64);
+        let cap = chernoff_token_cap(s, m, 1.0, n);
+        let mut violations = 0u32;
+        let trials = 200;
+        for _ in 0..trials {
+            let mut buckets = vec![0u64; m as usize];
+            for _ in 0..s {
+                buckets[rng.below(m) as usize] += 1;
+            }
+            if buckets.iter().any(|&b| b as f64 > cap) {
+                violations += 1;
+            }
+        }
+        // whp bound n^{-η} = 1/400 per line; with 20 lines and 200 trials
+        // we expect ≈ 10 violations at the *exact* Chernoff threshold —
+        // the corollary's cap is looser, so demand near-zero.
+        assert!(violations <= 2, "{violations} violations of the cap");
+    }
+
+    #[test]
+    fn chernoff_cap_branches() {
+        // Dense branch: µ > ln n.
+        let cap = chernoff_token_cap(1000, 10, 0.5, 100);
+        assert!((cap - 200.0).abs() < 1e-9);
+        // Sparse branch: µ ≤ ln n.
+        let cap = chernoff_token_cap(10, 10, 1.0, 1000);
+        let expect = 1.0 + 2.0 * (1000f64).ln();
+        assert!((cap - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilson_bounds() {
+        let (p, lo) = success_probability(100, 100);
+        assert_eq!(p, 1.0);
+        assert!(lo > 0.95 && lo < 1.0);
+        let (p, lo) = success_probability(0, 100);
+        assert_eq!(p, 0.0);
+        assert_eq!(lo, 0.0);
+        let (_, lo) = success_probability(0, 0);
+        assert_eq!(lo, 0.0);
+    }
+}

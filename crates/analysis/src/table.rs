@@ -1,0 +1,178 @@
+//! Plain-text and Markdown table rendering for experiment output.
+//!
+//! The experiment binaries print paper-style tables; this renderer keeps
+//! columns aligned in terminals and emits pipe-tables for EXPERIMENTS.md.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_analysis::table::Table;
+//!
+//! let mut t = Table::new(vec!["n".into(), "time".into()]);
+//! t.add_row(vec!["64".into(), "123.4".into()]);
+//! t.add_row(vec!["128".into(), "512.9".into()]);
+//! let text = t.render();
+//! assert!(text.contains("n"));
+//! assert!(text.lines().count() >= 4);
+//! ```
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned plain-text table (right-aligned cells).
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], w: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(w)
+                .map(|(c, &width)| format!("{c:>width$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &w));
+        out.push('\n');
+        out.push_str(
+            &w.iter()
+                .map(|&width| "-".repeat(width))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &w));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured Markdown pipe table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.headers.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+/// Format a float compactly for tables (3 significant-ish digits).
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_pads_to_widest() {
+        let mut t = Table::new(vec!["a".into(), "long-header".into()]);
+        t.add_row(vec!["12345".into(), "x".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{r}");
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = Table::new(vec!["n".into(), "t".into()]);
+        t.add_row(vec!["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("| n | t |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        Table::new(vec!["a".into()]).add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fmt_f64_ranges() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(42.42), "42.4");
+        assert_eq!(fmt_f64(12345.6), "12346");
+    }
+
+    #[test]
+    fn num_rows_tracks() {
+        let mut t = Table::new(vec!["x".into()]);
+        assert_eq!(t.num_rows(), 0);
+        t.add_row(vec!["1".into()]);
+        assert_eq!(t.num_rows(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Criterion benches for the simulation substrate itself: raw interaction
+//! throughput of the naive simulator vs the jump-chain simulator, RNG and
+//! Fenwick-tree primitives, and topology construction costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ssr_core::{GenericRanking, TreeRanking};
+use ssr_engine::fenwick::Fenwick;
+use ssr_engine::rng::Xoshiro256;
+use ssr_engine::{JumpSimulation, Simulation};
+use ssr_topology::{BalancedTree, CubicGraph};
+use std::hint::black_box;
+
+fn bench_naive_throughput(c: &mut Criterion) {
+    let n = 1024;
+    let p = GenericRanking::new(n);
+    let mut group = c.benchmark_group("naive_simulator");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("interactions_ag_n1024", |b| {
+        b.iter_batched(
+            || Simulation::new(&p, vec![0; n], 7).unwrap(),
+            |mut sim| {
+                for _ in 0..100_000 {
+                    black_box(sim.step());
+                }
+                sim
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_jump_throughput(c: &mut Criterion) {
+    let n = 1024;
+    let p = GenericRanking::new(n);
+    let mut group = c.benchmark_group("jump_simulator");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("productive_steps_ag_n1024", |b| {
+        b.iter_batched(
+            || JumpSimulation::new(&p, vec![0; n], 7).unwrap(),
+            |mut sim| {
+                for _ in 0..10_000 {
+                    black_box(sim.step_productive());
+                }
+                sim
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    c.bench_function("rng_next_u64", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    c.bench_function("rng_ordered_pair_n4096", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        b.iter(|| black_box(rng.ordered_pair(4096)))
+    });
+    c.bench_function("fenwick_set_sample_4096", |b| {
+        let mut f = Fenwick::new(4096);
+        for i in 0..4096 {
+            f.set(i, (i as u64 % 7) + 1);
+        }
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        b.iter(|| {
+            let t = rng.below(f.total());
+            let i = f.sample(t);
+            f.set(i, f.weight(i) ^ 1);
+            black_box(i)
+        })
+    });
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("balanced_tree_n65536", |b| {
+        b.iter(|| black_box(BalancedTree::new(65536)))
+    });
+    c.bench_function("routing_graph_v1024", |b| {
+        b.iter(|| black_box(CubicGraph::routing_graph(1024)))
+    });
+    c.bench_function("tree_protocol_build_n16384", |b| {
+        b.iter(|| black_box(TreeRanking::new(16384)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_naive_throughput,
+    bench_jump_throughput,
+    bench_primitives,
+    bench_construction
+);
+criterion_main!(benches);

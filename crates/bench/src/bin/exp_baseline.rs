@@ -1,0 +1,44 @@
+//! E0 — the `Θ(n²)` baseline: generic state-optimal protocol `A_G`.
+//!
+//! Regenerates the scaling table behind the paper's framing claim that the
+//! only previously known state-optimal self-stabilising ranking protocol
+//! stabilises in `Θ(n²)` parallel time whp, from both adversarial
+//! (stacked) and arbitrary (uniform-random) starts.
+//!
+//! Run: `cargo run --release -p ssr-bench --bin exp_baseline`
+
+use ssr_analysis::sweep::{sweep, SweepOptions};
+use ssr_bench::{grid, print_header, report_sweep, stacked_start, trials, uniform_start, verdict};
+use ssr_core::generic::GenericRanking;
+
+fn main() {
+    print_header(
+        "E0: generic protocol A_G",
+        "silent self-stabilising ranking in Θ(n²) parallel time whp",
+    );
+    let ns = grid(
+        &[64.0, 128.0, 256.0, 512.0, 1024.0],
+        &[64.0, 128.0, 256.0],
+    );
+    let t = trials(15);
+
+    let stacked = sweep(
+        &ns,
+        |x| GenericRanking::new(x as usize),
+        stacked_start,
+        &SweepOptions::new(t).with_base_seed(100),
+    );
+    let e1 = report_sweep("A_G from stacked start (all agents in rank 0)", "n", &stacked);
+
+    let random = sweep(
+        &ns,
+        |x| GenericRanking::new(x as usize),
+        uniform_start,
+        &SweepOptions::new(t).with_base_seed(200),
+    );
+    let e2 = report_sweep("A_G from uniform-random starts", "n", &random);
+
+    println!();
+    verdict("A_G stacked", e1, 1.7, 2.3);
+    verdict("A_G random", e2, 1.7, 2.3);
+}

@@ -1,0 +1,86 @@
+//! F1/F2 — the paper's two construction figures, regenerated.
+//!
+//! Figure 1: the cubic routing graph `G` for `m² = 16` lines (adjacency,
+//! 3-regularity, connectivity, diameter vs the `4⌈log m⌉` bound).
+//!
+//! Figure 2: the perfectly balanced binary tree of ranks for `n = 9`
+//! (pre-order state distribution, drawn as ASCII), plus the height bound
+//! `h ≤ 2 log n` across a range of sizes.
+//!
+//! Run: `cargo run --release -p ssr-bench --bin exp_figures`
+
+use ssr_bench::print_header;
+use ssr_topology::{BalancedTree, CubicGraph, NodeKind};
+
+fn draw_tree(t: &BalancedTree, p: usize, prefix: &str, last: bool, out: &mut String) {
+    let kind = match t.kind(p) {
+        NodeKind::Branching => "branching",
+        NodeKind::NonBranching => "non-branching",
+        NodeKind::Leaf => "leaf",
+    };
+    out.push_str(prefix);
+    out.push_str(if last { "└─ " } else { "├─ " });
+    out.push_str(&format!("{p} ({kind})\n"));
+    let children: Vec<usize> = [t.children(p).0, t.children(p).1]
+        .into_iter()
+        .flatten()
+        .collect();
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    for (i, &c) in children.iter().enumerate() {
+        draw_tree(t, c, &child_prefix, i + 1 == children.len(), out);
+    }
+}
+
+fn main() {
+    print_header(
+        "F1: routing graph G (Figure 1, m² = 16)",
+        "cubic graph from a balanced binary tree, root merged with a leaf, \
+         cycle through remaining leaves; diameter ≤ 4⌈log m⌉",
+    );
+    let g = CubicGraph::routing_graph(16);
+    println!("adjacency (1-based, as in Figure 1):");
+    print!("{}", g.render_adjacency());
+    println!("3-regular: {}", g.is_three_regular());
+    println!("connected:  {}", g.is_connected());
+    let m = 4.0f64;
+    println!(
+        "diameter:   {} (bound 4⌈log₂ m⌉ = {})",
+        g.diameter(),
+        4 * m.log2().ceil() as u32
+    );
+    for v in [36usize, 64, 144, 1024] {
+        let g = CubicGraph::routing_graph(v);
+        println!(
+            "m² = {v:>5}: cubic = {}, diameter = {:>2}, bound = {}",
+            g.is_three_regular(),
+            g.diameter(),
+            4 * ((v as f64).sqrt().log2().ceil() as u32).max(1) + 2
+        );
+    }
+
+    println!();
+    print_header(
+        "F2: perfectly balanced tree of ranks (Figure 2, n = 9)",
+        "pre-order numbering; all nodes at a level share a kind; h ≤ 2 log n",
+    );
+    let t = BalancedTree::new(9);
+    let mut out = String::new();
+    draw_tree(&t, 0, "", true, &mut out);
+    print!("{out}");
+    println!(
+        "figure check: children(0) = {:?} (paper: 1 and 5), \
+         children(2) = {:?} (paper: 3 and 4)",
+        t.children(0),
+        t.children(2)
+    );
+    println!("\nheight vs bound:");
+    for n in [9usize, 100, 1000, 65536, 1_000_000] {
+        let t = BalancedTree::new(n);
+        t.validate().expect("tree invariants");
+        println!(
+            "n = {n:>8}: height {:>3}  ≤  2·log₂ n = {:>6.1}",
+            t.height(),
+            2.0 * (n as f64).log2()
+        );
+    }
+}

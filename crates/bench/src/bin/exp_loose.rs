@@ -1,0 +1,150 @@
+//! EL — loose stabilisation vs the paper's silent protocols (extension).
+//!
+//! The lower bound of [Cai–Izumi–Wada] forces ≥ n states for *silent*
+//! self-stabilising leader election; the loose-stabilisation line of work
+//! (related work [45], [17]) escapes it with `O(log n)` states by holding
+//! the elected leader only temporarily. This experiment quantifies the
+//! trade-off with the timer-based loose protocol in `ssr-core::loose`:
+//!
+//! 1. convergence: parallel time until exactly one leader, from
+//!    adversarial starts (all leaders / no leaders / uniform random);
+//! 2. holding: parallel time until the unique leader is disturbed
+//!    (a spurious second leader rises), as a function of the timer
+//!    ceiling τ — growth should be drastic (roughly exponential in τ);
+//! 3. the contrast: the paper's tree protocol needs `O(log n)` *extra*
+//!    states on top of `n` ranks but then holds the leader forever.
+//!
+//! Run: `cargo run --release -p ssr-bench --bin exp_loose`
+
+use ssr_analysis::{Summary, Table};
+use ssr_bench::{print_header, trials};
+use ssr_core::LooseLeaderElection;
+use ssr_engine::observer::NullObserver;
+use ssr_engine::rng::Xoshiro256;
+use ssr_engine::{init, Protocol, Simulation, State};
+
+/// Parallel time until the population first has exactly one leader.
+fn convergence_time(p: &LooseLeaderElection, start: Vec<State>, seed: u64, cap: u64) -> f64 {
+    let mut sim = Simulation::new(p, start, seed).unwrap();
+    loop {
+        if p.leader_count(sim.counts()) == 1 {
+            return sim.parallel_time();
+        }
+        assert!(sim.interactions() < cap, "no convergence within cap");
+        sim.run_for(64, &mut NullObserver);
+    }
+}
+
+/// Parallel time from a converged configuration (one leader, all timers
+/// full) until the leader count first deviates from one. `None` when the
+/// leader survives the whole budget.
+fn holding_time(p: &LooseLeaderElection, seed: u64, budget: u64) -> Option<f64> {
+    let n = p.population_size();
+    let mut start = vec![p.timer_max(); n];
+    start[0] = p.leader_state();
+    let mut sim = Simulation::new(p, start, seed).unwrap();
+    while sim.interactions() < budget {
+        sim.run_for(64, &mut NullObserver);
+        if p.leader_count(sim.counts()) != 1 {
+            return Some(sim.parallel_time());
+        }
+    }
+    None
+}
+
+fn main() {
+    print_header(
+        "EL: loose stabilisation trade-off",
+        "O(log n) states elect fast but hold the leader only ~exp(τ) time; \
+         the paper's silent protocols hold forever at the cost of ≥ n states",
+    );
+    let t = trials(10);
+
+    // (1) Convergence from adversarial starts.
+    let ns: &[usize] = if ssr_bench::quick() {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
+    println!("\n[convergence to a unique leader, default τ = 8⌈log₂ n⌉]");
+    let mut table = Table::new(vec![
+        "n".into(),
+        "all-leaders".into(),
+        "no-leaders".into(),
+        "uniform".into(),
+    ]);
+    for &n in ns {
+        let p = LooseLeaderElection::new(n);
+        let cap = 2_000_000u64.saturating_mul(n as u64);
+        let med = |mk: &dyn Fn(u64) -> Vec<State>| -> f64 {
+            let times: Vec<f64> = (0..t as u64)
+                .map(|s| convergence_time(&p, mk(s), 21_000 + s, cap))
+                .collect();
+            Summary::of(&times).median
+        };
+        let all_leaders = med(&|_| vec![p.leader_state(); n]);
+        let no_leaders = med(&|_| vec![p.timer_max(); n]);
+        let uniform = med(&|s| {
+            let mut rng = Xoshiro256::seed_from_u64(777 ^ s);
+            init::uniform_random(n, p.num_states(), &mut rng)
+        });
+        table.add_row(vec![
+            n.to_string(),
+            format!("{all_leaders:.0}"),
+            format!("{no_leaders:.0}"),
+            format!("{uniform:.0}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("convergence stays low-polynomial in n — loose election is fast.");
+
+    // (2) Holding time vs timer ceiling.
+    let n = 64usize;
+    let budget = if ssr_bench::quick() {
+        20_000_000
+    } else {
+        200_000_000
+    };
+    println!("\n[holding time at n = {n} vs timer ceiling τ (budget {budget} interactions)]");
+    let mut table = Table::new(vec![
+        "τ".into(),
+        "median hold".into(),
+        "max hold".into(),
+        "survived budget".into(),
+    ]);
+    let taus: &[u32] = if ssr_bench::quick() {
+        &[2, 4, 8]
+    } else {
+        &[2, 4, 8, 16, 24]
+    };
+    for &tau in taus {
+        let p = LooseLeaderElection::with_timer(n, tau);
+        let mut holds = Vec::new();
+        let mut survived = 0usize;
+        for s in 0..t as u64 {
+            match holding_time(&p, 31_000 + s, budget) {
+                Some(h) => holds.push(h),
+                None => survived += 1,
+            }
+        }
+        let (med, max) = if holds.is_empty() {
+            ("> budget".to_string(), "> budget".to_string())
+        } else {
+            let s = Summary::of(&holds);
+            (format!("{:.0}", s.median), format!("{:.0}", s.max))
+        };
+        table.add_row(vec![
+            tau.to_string(),
+            med,
+            max,
+            format!("{survived}/{t}"),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "holding time explodes with τ (≈ exponentially): loose stabilisation \
+         buys state efficiency with a finite—but tunable—leadership lease.\n\
+         The paper's silent tree protocol (x = O(log n) EXTRA states on top \
+         of n ranks) holds its leader indefinitely: silence is absorbing."
+    );
+}

@@ -1,0 +1,121 @@
+//! E1 — Theorem 1: the state-optimal ring of traps stabilises in
+//! `O(min(k·n^{3/2}, n² log² n))` whp from any `k`-distant configuration.
+//!
+//! Three tables:
+//!   (a) time vs distance `k` at fixed `n` — near-linear growth in `k`
+//!       until the arbitrary-start cap takes over;
+//!   (b) time vs `n` at fixed small `k` — exponent ≈ 3/2, i.e. `o(n²)`:
+//!       the headline "state-optimal ranking in o(n²) for k = o(√n)";
+//!   (c) time vs `n` from arbitrary (uniform-random) starts — exponent
+//!       ≈ 2 (× polylog), matching the `n² log² n` branch, compared
+//!       against the `A_G` baseline.
+//!
+//! Run: `cargo run --release -p ssr-bench --bin exp_theorem1`
+
+use ssr_analysis::sweep::{sweep, SweepOptions};
+use ssr_bench::{grid, print_header, report_sweep, trials, uniform_start, verdict};
+use ssr_core::generic::GenericRanking;
+use ssr_core::ring::RingOfTraps;
+use ssr_engine::init::{self, DuplicatePlacement};
+use ssr_engine::rng::Xoshiro256;
+use ssr_engine::Protocol;
+
+fn k_distant_start(p: &RingOfTraps, k: usize, seed: u64) -> Vec<u32> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    init::k_distant(
+        p.population_size(),
+        k,
+        DuplicatePlacement::Random,
+        &mut rng,
+    )
+}
+
+fn main() {
+    print_header(
+        "E1: ring of traps (Theorem 1)",
+        "state-optimal ranking in O(min(k·n^{3/2}, n² log² n)) whp",
+    );
+    let t = trials(15);
+
+    // (a) fixed n, sweep k.
+    let n_fixed = if ssr_bench::quick() { 240 } else { 506 }; // 22·23
+    let ks = grid(
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 253.0],
+        &[1.0, 4.0, 16.0, 64.0],
+    );
+    // The generic sweep varies the protocol, not the start distance, so
+    // table (a) drives the trial runner directly.
+    println!("\n[(a) ring, n = {n_fixed}: recovery time vs distance k]");
+    let mut table = ssr_analysis::Table::new(vec![
+        "k".into(),
+        "mean".into(),
+        "median".into(),
+        "max".into(),
+    ]);
+    let mut meds = Vec::new();
+    let p = RingOfTraps::new(n_fixed);
+    for &kf in &ks {
+        let k = kf as usize;
+        let cfg = ssr_engine::TrialConfig::new(t).with_base_seed(300 + k as u64);
+        let res = ssr_engine::run_trials(&p, |seed| k_distant_start(&p, k, seed), &cfg);
+        let s = ssr_analysis::Summary::of(&res.parallel_times());
+        meds.push(s.median);
+        table.add_row(vec![
+            k.to_string(),
+            format!("{:.0}", s.mean),
+            format!("{:.0}", s.median),
+            format!("{:.0}", s.max),
+        ]);
+    }
+    print!("{}", table.render());
+    let fit_k = ssr_analysis::fit_power_law(&ks, &meds);
+    println!(
+        "fit: T(k) ≈ {:.0}·k^{:.2} (R² = {:.3}) — Theorem 1 predicts slope ≤ 1 \
+         (linear in k) flattening at the n²log²n cap",
+        fit_k.constant, fit_k.exponent, fit_k.r_squared
+    );
+
+    // (b) fixed small k, sweep n: the o(n²) headline.
+    let ns = grid(
+        &[110.0, 240.0, 506.0, 1056.0, 2162.0],
+        &[110.0, 240.0, 506.0],
+    );
+    let k_small = 4usize;
+    let by_n = sweep(
+        &ns,
+        |x| RingOfTraps::new(x as usize),
+        |p, seed| k_distant_start(p, k_small, seed),
+        &SweepOptions::new(t).with_base_seed(400),
+    );
+    let e_b = report_sweep(
+        &format!("(b) ring, k = {k_small}: time vs n (expect ≈ n^1.5, o(n²))"),
+        "n",
+        &by_n,
+    );
+
+    // (c) arbitrary starts: the n² log² n branch vs the A_G baseline.
+    let ns_c = grid(&[110.0, 240.0, 506.0, 1056.0], &[110.0, 240.0]);
+    let arb = sweep(
+        &ns_c,
+        |x| RingOfTraps::new(x as usize),
+        uniform_start,
+        &SweepOptions::new(t).with_base_seed(500),
+    );
+    let e_c = report_sweep("(c) ring from uniform-random starts", "n", &arb);
+    let base = sweep(
+        &ns_c,
+        |x| GenericRanking::new(x as usize),
+        uniform_start,
+        &SweepOptions::new(t).with_base_seed(600),
+    );
+    let e_ag = report_sweep("(c') A_G from uniform-random starts (baseline)", "n", &base);
+
+    println!();
+    verdict("(b) k-distant exponent (theory 1.5)", e_b, 1.2, 1.8);
+    verdict("(c) arbitrary-start exponent (theory ≤ 2 + polylog)", e_c, 1.6, 2.4);
+    verdict("(c') A_G exponent (theory 2)", e_ag, 1.7, 2.3);
+    println!(
+        "shape check: ring from small-k starts must beat both arbitrary-start \
+         curves by a growing factor; see EXPERIMENTS.md for the recorded run."
+    );
+}

@@ -1,0 +1,140 @@
+//! # ssr-bench — experiment harness
+//!
+//! Shared helpers for the experiment binaries in `src/bin/`, each of which
+//! regenerates one of the paper's tables or figures (see DESIGN.md §4 for
+//! the experiment index and EXPERIMENTS.md for recorded results):
+//!
+//! | Binary | Paper artefact |
+//! |--------|----------------|
+//! | `exp_baseline` | E0 — `Θ(n²)` generic protocol `A_G` |
+//! | `exp_theorem1` | E1 — ring of traps, `O(min(k·n^{3/2}, n² log² n))` |
+//! | `exp_theorem2` | E2 — line of traps, `O(n^{7/4} log² n)` with `x = 1` |
+//! | `exp_theorem3` | E3 — tree of ranks, `O(n log n)` with `x = O(log n)` |
+//! | `exp_lemma1`   | L1/L2 — trap release and tidiness timing |
+//! | `exp_figures`  | F1/F2 — routing graph `G` and the tree of ranks |
+//! | `exp_faults`   | EF — transient-fault recovery (Theorem 1, operational) |
+//! | `exp_loose`    | EL — loose stabilisation trade-off (related work) |
+//! | `exp_schedulers` | ES — non-uniform scheduler robustness |
+//! | `exp_scale`    | E3+ — Theorem 3 across two more decades of `n` |
+//!
+//! Set `SSR_QUICK=1` to shrink grids for smoke runs. Criterion micro
+//! benches live in `benches/`.
+
+use ssr_analysis::sweep::SweepResult;
+use ssr_engine::protocol::{ProductiveClasses, Protocol, State};
+use ssr_engine::rng::Xoshiro256;
+
+/// True when `SSR_QUICK` is set: experiment binaries shrink their grids.
+pub fn quick() -> bool {
+    std::env::var_os("SSR_QUICK").is_some()
+}
+
+/// Pick `full` or `short` grid depending on [`quick`].
+pub fn grid(full: &[f64], short: &[f64]) -> Vec<f64> {
+    if quick() {
+        short.to_vec()
+    } else {
+        full.to_vec()
+    }
+}
+
+/// Trials per grid point, halved (min 4) in quick mode.
+pub fn trials(full: usize) -> usize {
+    if quick() {
+        (full / 2).max(4)
+    } else {
+        full
+    }
+}
+
+/// Banner for one experiment.
+pub fn print_header(id: &str, claim: &str) {
+    println!("==============================================================");
+    println!("{id}");
+    println!("paper claim: {claim}");
+    println!("==============================================================");
+}
+
+/// Uniform-random start over the protocol's full state space — the
+/// paper's "arbitrary initial configuration".
+pub fn uniform_start<P: Protocol>(p: &P, seed: u64) -> Vec<State> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    ssr_engine::init::uniform_random(p.population_size(), p.num_states(), &mut rng)
+}
+
+/// Everyone stacked in rank state 0 — the classic adversarial start.
+pub fn stacked_start<P: Protocol>(p: &P, _seed: u64) -> Vec<State> {
+    vec![0; p.population_size()]
+}
+
+/// Print a sweep with its power-law fit and return the fitted exponent.
+pub fn report_sweep(label: &str, x_name: &str, res: &SweepResult) -> f64 {
+    println!("\n[{label}]");
+    print!("{}", res.to_table(x_name).render());
+    if res.rows.len() >= 2 && res.rows.iter().all(|r| r.median > 0.0) {
+        let fit = res.fit_median();
+        println!(
+            "power-law fit: median ≈ {:.3} · {x_name}^{:.2}   (R² = {:.3})",
+            fit.constant, fit.exponent, fit.r_squared
+        );
+        fit.exponent
+    } else {
+        println!("power-law fit: skipped (insufficient successful points)");
+        f64::NAN
+    }
+}
+
+/// Verdict line comparing a fitted exponent against the theory.
+pub fn verdict(what: &str, measured: f64, lo: f64, hi: f64) {
+    let ok = measured.is_finite() && measured >= lo && measured <= hi;
+    println!(
+        "VERDICT {}: exponent {measured:.2} vs theory window [{lo:.2}, {hi:.2}] → {}",
+        what,
+        if ok { "MATCHES" } else { "CHECK" }
+    );
+}
+
+/// Convenience: mean stabilisation parallel time over `trials` jump-chain
+/// runs from a fixed start generator.
+pub fn mean_parallel_time<P, F>(p: &P, make: F, n_trials: usize, base_seed: u64) -> f64
+where
+    P: ProductiveClasses + Sync,
+    F: Fn(&P, u64) -> Vec<State> + Sync,
+{
+    let cfg = ssr_engine::TrialConfig::new(n_trials).with_base_seed(base_seed);
+    let res = ssr_engine::run_trials(p, |seed| make(p, seed), &cfg);
+    let times = res.parallel_times();
+    times.iter().sum::<f64>() / times.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssr_core::generic::GenericRanking;
+
+    #[test]
+    fn grid_respects_quick() {
+        // quick() depends on the environment; exercise both code paths
+        // through the helper with explicit data.
+        let full = [1.0, 2.0, 3.0];
+        let short = [1.0];
+        let g = grid(&full, &short);
+        assert!(g == full.to_vec() || g == short.to_vec());
+    }
+
+    #[test]
+    fn starts_are_valid() {
+        let p = GenericRanking::new(10);
+        assert_eq!(stacked_start(&p, 0), vec![0; 10]);
+        let u = uniform_start(&p, 1);
+        assert_eq!(u.len(), 10);
+        assert!(u.iter().all(|&s| (s as usize) < 10));
+    }
+
+    #[test]
+    fn mean_time_positive_for_stacked_ag() {
+        let p = GenericRanking::new(12);
+        let t = mean_parallel_time(&p, stacked_start, 4, 3);
+        assert!(t > 0.0);
+    }
+}

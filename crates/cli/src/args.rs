@@ -1,0 +1,160 @@
+//! Minimal dependency-free argument parsing for the `ssr` binary.
+//!
+//! Grammar: `ssr <command> [--flag value]...`. Flags are long-form only;
+//! unknown flags are errors so typos fail loudly.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a command word plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for missing command, stray positionals, or a
+    /// flag without a value.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut it = args.into_iter();
+        let command = it.next().ok_or("missing command (try `ssr help`)")?;
+        if command.starts_with("--") {
+            return Err(format!("expected a command before {command}"));
+        }
+        let mut flags = HashMap::new();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected positional argument '{arg}'"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            if flags.insert(key.to_string(), value).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// String flag with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Integer flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unparseable values.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        }
+    }
+
+    /// `u64` flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unparseable values.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        }
+    }
+
+    /// Comma-separated integer list flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unparseable entries.
+    pub fn usize_list_or(&self, key: &str, default: &[usize]) -> Result<Vec<usize>, String> {
+        match self.flags.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse()
+                        .map_err(|_| format!("--{key}: '{p}' is not an integer"))
+                })
+                .collect(),
+        }
+    }
+
+    /// True when a flag is present (any value).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Args, String> {
+        Args::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["run", "--n", "100", "--protocol", "tree"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.usize_or("n", 0).unwrap(), 100);
+        assert_eq!(a.str_or("protocol", "x"), "tree");
+        assert_eq!(a.str_or("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--n", "3"]).is_err());
+    }
+
+    #[test]
+    fn flag_without_value_rejected() {
+        assert!(parse(&["run", "--n"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert!(parse(&["run", "--n", "1", "--n", "2"]).is_err());
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        assert!(parse(&["run", "extra"]).is_err());
+    }
+
+    #[test]
+    fn lists_parse() {
+        let a = parse(&["sweep", "--ns", "72, 324,960"]).unwrap();
+        assert_eq!(a.usize_list_or("ns", &[]).unwrap(), vec![72, 324, 960]);
+        assert_eq!(a.usize_list_or("ks", &[1, 2]).unwrap(), vec![1, 2]);
+        assert!(parse(&["sweep", "--ns", "72,x"])
+            .unwrap()
+            .usize_list_or("ns", &[])
+            .is_err());
+    }
+
+    #[test]
+    fn has_detects_presence() {
+        let a = parse(&["run", "--naive", "true"]).unwrap();
+        assert!(a.has("naive"));
+        assert!(!a.has("jump"));
+    }
+}

@@ -1,0 +1,314 @@
+//! `ssr` — command-line driver for the self-stabilising ranking suite.
+//!
+//! ```text
+//! ssr run    --protocol tree --n 1000 [--start uniform|stacked|k-distant]
+//!            [--k 5] [--seed 7] [--naive] [--max 1000000000]
+//! ssr sweep  --protocol line --ns 72,324,960 [--trials 10] [--seed 0]
+//! ssr elect  --protocol ring --n 100 [--k 5] [--seed 7]
+//! ssr exact  --protocol generic --n 5 [--limit 200000] [--trials 20000]
+//! ssr check  --protocol ring --n 6 [--limit 3000000]
+//! ssr faults --protocol ring --n 100 --faults 8 [--trials 10]
+//! ssr info   --protocol tree --n 1000
+//! ssr help
+//! ```
+
+mod args;
+
+use args::Args;
+use ssr_analysis::sweep::{sweep, SweepOptions};
+use ssr_analysis::Summary;
+use ssr_core::{elect_leader, GenericRanking, LineOfTraps, RingOfTraps, TreeRanking};
+use ssr_engine::init::{self, DuplicatePlacement};
+use ssr_engine::rng::Xoshiro256;
+use ssr_engine::{JumpSimulation, ProductiveClasses, Protocol, Simulation, State};
+
+/// The four protocols behind one object-safe handle.
+fn make_protocol(kind: &str, n: usize) -> Result<Box<dyn ProductiveClasses + Sync>, String> {
+    match kind {
+        "generic" | "ag" => Ok(Box::new(GenericRanking::new(n))),
+        "ring" => Ok(Box::new(RingOfTraps::new(n))),
+        "line" => Ok(Box::new(LineOfTraps::new(n))),
+        "tree" => Ok(Box::new(TreeRanking::new(n))),
+        other => Err(format!(
+            "unknown protocol '{other}' (expected generic|ring|line|tree)"
+        )),
+    }
+}
+
+fn make_start(
+    p: &(impl Protocol + ?Sized),
+    start: &str,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<State>, String> {
+    let n = p.population_size();
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5EED);
+    match start {
+        "uniform" => Ok(init::uniform_random(n, p.num_states(), &mut rng)),
+        "stacked" => Ok(init::all_in(n, 0)),
+        "perfect" => Ok(init::perfect_ranking(n)),
+        "k-distant" => {
+            if k >= n {
+                return Err(format!("--k must be below n (got {k})"));
+            }
+            Ok(init::k_distant(n, k, DuplicatePlacement::Random, &mut rng))
+        }
+        other => Err(format!(
+            "unknown start '{other}' (expected uniform|stacked|perfect|k-distant)"
+        )),
+    }
+}
+
+fn cmd_run(a: &Args) -> Result<(), String> {
+    let n = a.usize_or("n", 100)?;
+    let p = make_protocol(&a.str_or("protocol", "tree"), n)?;
+    let seed = a.u64_or("seed", 1)?;
+    let max = a.u64_or("max", u64::MAX)?;
+    let start = make_start(p.as_ref(), &a.str_or("start", "uniform"), a.usize_or("k", 1)?, seed)?;
+    println!(
+        "{}: n = {n}, {} states ({} extra), seed {seed}",
+        p.name(),
+        p.num_states(),
+        p.num_extra_states()
+    );
+    let report = if a.has("naive") {
+        let mut sim = Simulation::new(p.as_ref(), start, seed).map_err(|e| e.to_string())?;
+        sim.run_until_silent(max).map_err(|e| e.to_string())?
+    } else {
+        let mut sim = JumpSimulation::new(p.as_ref(), start, seed).map_err(|e| e.to_string())?;
+        sim.run_until_silent(max).map_err(|e| e.to_string())?
+    };
+    println!(
+        "silent after {} interactions (parallel time {:.1}); {} productive",
+        report.interactions, report.parallel_time, report.productive_interactions
+    );
+    Ok(())
+}
+
+fn cmd_sweep(a: &Args) -> Result<(), String> {
+    let kind = a.str_or("protocol", "tree");
+    let ns = a.usize_list_or("ns", &[64, 128, 256, 512])?;
+    let trials = a.usize_or("trials", 10)?;
+    let seed = a.u64_or("seed", 0)?;
+    let grid: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    // The sweep driver needs a concrete type; dispatch per protocol.
+    macro_rules! run_sweep {
+        ($ctor:expr) => {{
+            let res = sweep(
+                &grid,
+                $ctor,
+                |p, s| {
+                    let mut rng = Xoshiro256::seed_from_u64(s);
+                    init::uniform_random(p.population_size(), p.num_states(), &mut rng)
+                },
+                &SweepOptions::new(trials).with_base_seed(seed),
+            );
+            print!("{}", res.to_table("n").render());
+            if res.rows.len() >= 2 && res.rows.iter().all(|r| r.median > 0.0) {
+                let fit = res.fit_median();
+                println!(
+                    "fit: median ≈ {:.3}·n^{:.2} (R² = {:.3})",
+                    fit.constant, fit.exponent, fit.r_squared
+                );
+            }
+        }};
+    }
+    match kind.as_str() {
+        "generic" | "ag" => run_sweep!(|x: f64| GenericRanking::new(x as usize)),
+        "ring" => run_sweep!(|x: f64| RingOfTraps::new(x as usize)),
+        "line" => run_sweep!(|x: f64| LineOfTraps::new(x as usize)),
+        "tree" => run_sweep!(|x: f64| TreeRanking::new(x as usize)),
+        other => return Err(format!("unknown protocol '{other}'")),
+    }
+    Ok(())
+}
+
+fn cmd_elect(a: &Args) -> Result<(), String> {
+    let n = a.usize_or("n", 100)?;
+    let p = make_protocol(&a.str_or("protocol", "ring"), n)?;
+    let seed = a.u64_or("seed", 1)?;
+    let start = make_start(p.as_ref(), &a.str_or("start", "k-distant"), a.usize_or("k", 1)?, seed)?;
+    let out = elect_leader(p.as_ref(), start, seed, u64::MAX).map_err(|e| e.to_string())?;
+    println!(
+        "{}: agent #{} elected leader after parallel time {:.1}",
+        p.name(),
+        out.leader,
+        out.report.parallel_time
+    );
+    Ok(())
+}
+
+fn cmd_exact(a: &Args) -> Result<(), String> {
+    let n = a.usize_or("n", 5)?;
+    let kind = a.str_or("protocol", "generic");
+    let p = make_protocol(&kind, n)?;
+    let limit = a.usize_or("limit", 200_000)?;
+    let trials = a.u64_or("trials", 20_000)?;
+    let start = vec![0 as State; n];
+    let exact = ssr_analysis::exact::expected_interactions(p.as_ref(), &start, limit)
+        .map_err(|e| e.to_string())?;
+    let times: Vec<f64> = (0..trials)
+        .map(|t| {
+            let mut sim = JumpSimulation::new(p.as_ref(), start.clone(), 50_000 + t)
+                .expect("valid start");
+            sim.run_until_silent(u64::MAX).expect("stable").interactions as f64
+        })
+        .collect();
+    let s = Summary::of(&times);
+    println!("{} at n = {n}, stacked start:", p.name());
+    println!("  exact expected interactions: {exact:.4}");
+    println!(
+        "  simulated mean over {trials} trials: {:.4} ± {:.4}",
+        s.mean,
+        s.ci95_half_width()
+    );
+    let rel = (exact - s.mean).abs() / exact;
+    println!("  relative gap: {:.4} ({})", rel, if rel < 0.02 { "OK" } else { "LARGE" });
+    Ok(())
+}
+
+fn cmd_check(a: &Args) -> Result<(), String> {
+    let n = a.usize_or("n", 6)?;
+    let p = make_protocol(&a.str_or("protocol", "generic"), n)?;
+    let limit = a.usize_or("limit", 3_000_000)?;
+    println!(
+        "model-checking {} at n = {n} over the full configuration space…",
+        p.name()
+    );
+    let cert =
+        ssr_analysis::verify_stability(p.as_ref(), limit).map_err(|e| e.to_string())?;
+    println!(
+        "certified stable & silent: {} configurations enumerated, \
+         {} silent (the perfect ranking), {} transitions",
+        cert.configurations, cert.silent_configurations, cert.transitions
+    );
+    Ok(())
+}
+
+fn cmd_faults(a: &Args) -> Result<(), String> {
+    let n = a.usize_or("n", 100)?;
+    let p = make_protocol(&a.str_or("protocol", "ring"), n)?;
+    let faults = a.usize_or("faults", 4)?;
+    let trials = a.u64_or("trials", 10)?;
+    let seed = a.u64_or("seed", 1)?;
+    let mut times = Vec::with_capacity(trials as usize);
+    let mut ks = Vec::with_capacity(trials as usize);
+    for t in 0..trials {
+        let rep = ssr_engine::recovery_after_faults(p.as_ref(), faults, seed + t, u64::MAX)
+            .map_err(|e| e.to_string())?;
+        times.push(rep.recovered.parallel_time);
+        ks.push(rep.distance_after_faults as f64);
+    }
+    let st = Summary::of(&times);
+    let sk = Summary::of(&ks);
+    println!(
+        "{}: {faults} faults on a silent n = {n} population ({trials} trials)",
+        p.name()
+    );
+    println!("  mean k-distance after faults: {:.1}", sk.mean);
+    println!(
+        "  recovery parallel time: median {:.0}, p95 {:.0}, max {:.0}",
+        st.median, st.p95, st.max
+    );
+    Ok(())
+}
+
+fn cmd_info(a: &Args) -> Result<(), String> {
+    let n = a.usize_or("n", 100)?;
+    let p = make_protocol(&a.str_or("protocol", "tree"), n)?;
+    println!("protocol:     {}", p.name());
+    println!("population:   {n}");
+    println!("rank states:  {}", p.num_rank_states());
+    println!("extra states: {}", p.num_extra_states());
+    println!("total states: {}", p.num_states());
+    ssr_engine::protocol::validate_distinct_ranks_silent(p.as_ref())
+        .map(|_| println!("perfect rankings are silent: yes"))
+        .map_err(|e| format!("contract violation: {e}"))?;
+    Ok(())
+}
+
+fn help() {
+    println!(
+        "ssr — self-stabilising ranking & leader election (PODC 2025 reproduction)
+
+commands:
+  run    --protocol generic|ring|line|tree --n N
+         [--start uniform|stacked|perfect|k-distant] [--k K]
+         [--seed S] [--max M] [--naive]        simulate one run to silence
+  sweep  --protocol P --ns 64,128,256 [--trials T] [--seed S]
+                                               time-vs-n table + power fit
+  elect  --protocol P --n N [--start ...] [--k K] [--seed S]
+                                               run leader election
+  exact  --protocol P --n N [--limit L] [--trials T]
+                                               exact vs simulated E[time]
+  check  --protocol P --n N [--limit L]        exhaustive stability proof
+                                               (small n; full config space)
+  faults --protocol P --n N --faults F [--trials T] [--seed S]
+                                               corrupt-and-recover report
+  info   --protocol P --n N                    state-space summary
+  help                                         this text"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_factory_covers_all_kinds() {
+        for kind in ["generic", "ag", "ring", "line", "tree"] {
+            let p = make_protocol(kind, 20).unwrap();
+            assert_eq!(p.population_size(), 20, "{kind}");
+        }
+        let err = match make_protocol("unknown", 20) {
+            Ok(_) => panic!("unknown protocol kind must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.contains("unknown protocol"));
+    }
+
+    #[test]
+    fn start_factory_covers_all_kinds() {
+        let p = make_protocol("tree", 16).unwrap();
+        for start in ["uniform", "stacked", "perfect", "k-distant"] {
+            let cfg = make_start(p.as_ref(), start, 3, 7).unwrap();
+            assert_eq!(cfg.len(), 16, "{start}");
+            assert!(cfg.iter().all(|&s| (s as usize) < p.num_states()));
+        }
+        assert!(make_start(p.as_ref(), "nope", 0, 7).is_err());
+        assert!(make_start(p.as_ref(), "k-distant", 16, 7).is_err());
+    }
+
+    #[test]
+    fn k_distant_start_hits_requested_distance() {
+        let p = make_protocol("ring", 24).unwrap();
+        let cfg = make_start(p.as_ref(), "k-distant", 5, 1).unwrap();
+        assert_eq!(ssr_engine::init::distance(&cfg, 24), 5);
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        help();
+        return;
+    }
+    let result = Args::parse(argv).and_then(|a| match a.command.as_str() {
+        "run" => cmd_run(&a),
+        "sweep" => cmd_sweep(&a),
+        "elect" => cmd_elect(&a),
+        "exact" => cmd_exact(&a),
+        "check" => cmd_check(&a),
+        "faults" => cmd_faults(&a),
+        "info" => cmd_info(&a),
+        "help" | "--help" => {
+            help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `ssr help`)")),
+    });
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    }
+}

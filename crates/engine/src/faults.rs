@@ -1,0 +1,272 @@
+//! Transient-fault injection and recovery measurement.
+//!
+//! Self-stabilisation is exactly the promise that the system recovers from
+//! *any* transient corruption of agent states. The paper formalises the
+//! corrupted configuration as the adversarial start (§1) and measures
+//! distance as the number `k` of missing rank states (§3); operationally
+//! the same situation arises when a stabilised population suffers `f`
+//! state-corruption faults. This module provides the machinery to create
+//! that situation deliberately and measure the recovery:
+//!
+//! * [`perturb_counts`] — hit `f` uniformly random agents with uniformly
+//!   random replacement states (the standard transient-fault model);
+//! * [`rank_distance`] — the paper's `k`-distance of a configuration;
+//! * [`recovery_after_faults`] — stabilise, corrupt, re-stabilise, and
+//!   report both the damage (`k`) and the recovery time.
+//!
+//! Experiment EF in `exp_faults` uses this to connect Theorem 1's
+//! `O(k·n^{3/2})` bound to an operational fault-tolerance statement:
+//! recovery time grows with the number of faults, sublinearly in `n²`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_engine::faults::{recovery_after_faults, RecoveryReport};
+//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//!
+//! struct Ag { n: usize }
+//! impl Protocol for Ag {
+//!     fn name(&self) -> &str { "A_G" }
+//!     fn population_size(&self) -> usize { self.n }
+//!     fn num_states(&self) -> usize { self.n }
+//!     fn num_rank_states(&self) -> usize { self.n }
+//!     fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+//!         (i == r).then(|| (i, (r + 1) % self.n as State))
+//!     }
+//! }
+//! impl ProductiveClasses for Ag {}
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report: RecoveryReport = recovery_after_faults(&Ag { n: 32 }, 4, 7, u64::MAX)?;
+//! assert!(report.faults_applied <= 4);
+//! assert!(report.recovered.parallel_time >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::StabilisationTimeout;
+use crate::jump::JumpSimulation;
+use crate::protocol::ProductiveClasses;
+use crate::rng::Xoshiro256;
+use crate::sim::StabilisationReport;
+
+/// Corrupt `faults` agents in a counts-vector configuration: each fault
+/// picks a uniformly random **agent** (weighted by current occupancy) and
+/// rewrites its state to a uniformly random state in `0..num_states`
+/// (possibly the same — real fault models do not guarantee damage).
+///
+/// Returns the number of agents whose state actually changed.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty, sums to zero, or is shorter than
+/// `num_states`.
+pub fn perturb_counts(
+    counts: &mut [u32],
+    num_states: usize,
+    faults: usize,
+    rng: &mut Xoshiro256,
+) -> usize {
+    assert!(counts.len() >= num_states && num_states > 0, "bad shape");
+    let population: u64 = counts.iter().map(|&c| c as u64).sum();
+    assert!(population > 0, "empty population");
+    let mut changed = 0;
+    for _ in 0..faults {
+        // Pick the victim agent by weighted state occupancy.
+        let mut idx = rng.below(population);
+        let mut from = 0usize;
+        for (s, &c) in counts.iter().enumerate() {
+            if idx < c as u64 {
+                from = s;
+                break;
+            }
+            idx -= c as u64;
+        }
+        let to = rng.below_usize(num_states);
+        if to != from {
+            counts[from] -= 1;
+            counts[to] += 1;
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// The paper's `k`-distance of a configuration given as occupancy counts:
+/// the number of **unoccupied rank states**.
+pub fn rank_distance(counts: &[u32], num_rank_states: usize) -> usize {
+    counts[..num_rank_states].iter().filter(|&&c| c == 0).count()
+}
+
+/// Outcome of a corrupt-and-recover run (see [`recovery_after_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryReport {
+    /// Faults injected that actually changed an agent's state.
+    pub faults_applied: usize,
+    /// The `k`-distance immediately after corruption (how many rank
+    /// states the faults left unoccupied).
+    pub distance_after_faults: usize,
+    /// Stabilisation report for the recovery phase alone (clocks start
+    /// at the moment of corruption).
+    pub recovered: StabilisationReport,
+}
+
+/// Start the protocol in its silent perfect ranking, corrupt `faults`
+/// uniformly random agents, and run the exact jump-chain simulator until
+/// the population is silent again.
+///
+/// This is the operational restatement of the paper's `k`-distant
+/// experiment: `faults` random corruptions produce a configuration that
+/// is `k`-distant for some `k ≤ faults`, and Theorem 1 then bounds the
+/// recovery at `O(min(k·n^{3/2}, n² log² n))` for the ring protocol.
+///
+/// # Errors
+///
+/// Returns [`StabilisationTimeout`] if recovery exceeds
+/// `max_interactions`.
+///
+/// # Panics
+///
+/// Panics if the protocol violates the ranking contract shape (rank
+/// states ≠ population).
+pub fn recovery_after_faults<P: ProductiveClasses + ?Sized>(
+    protocol: &P,
+    faults: usize,
+    seed: u64,
+    max_interactions: u64,
+) -> Result<RecoveryReport, StabilisationTimeout> {
+    let n = protocol.population_size();
+    assert_eq!(
+        protocol.num_rank_states(),
+        n,
+        "recovery_after_faults requires a ranking protocol"
+    );
+    let mut counts = vec![0u32; protocol.num_states()];
+    for c in counts.iter_mut().take(n) {
+        *c = 1;
+    }
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5eed_f417);
+    let faults_applied = perturb_counts(&mut counts, protocol.num_states(), faults, &mut rng);
+    let distance_after_faults = rank_distance(&counts, n);
+    let mut sim = JumpSimulation::from_counts(protocol, counts, seed)
+        .expect("counts preserve the population size");
+    let recovered = sim.run_until_silent(max_interactions)?;
+    debug_assert!(sim.is_silent());
+    Ok(RecoveryReport {
+        faults_applied,
+        distance_after_faults,
+        recovered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Protocol, State};
+
+    struct Ag {
+        n: usize,
+    }
+    impl Protocol for Ag {
+        fn name(&self) -> &str {
+            "A_G"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_rank_states(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            if i == r {
+                Some((i, (r + 1) % self.n as State))
+            } else {
+                None
+            }
+        }
+    }
+    impl ProductiveClasses for Ag {}
+
+    #[test]
+    fn perturb_conserves_agents() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut counts = vec![1u32; 20];
+        let changed = perturb_counts(&mut counts, 20, 7, &mut rng);
+        assert!(changed <= 7);
+        assert_eq!(counts.iter().sum::<u32>(), 20);
+    }
+
+    #[test]
+    fn perturb_zero_faults_is_identity() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut counts = vec![2u32, 3, 0];
+        assert_eq!(perturb_counts(&mut counts, 3, 0, &mut rng), 0);
+        assert_eq!(counts, vec![2, 3, 0]);
+    }
+
+    #[test]
+    fn distance_counts_missing_ranks() {
+        assert_eq!(rank_distance(&[1, 0, 2, 0, 1], 5), 2);
+        assert_eq!(rank_distance(&[1, 1, 1], 3), 0);
+        // Extra states beyond the rank range are ignored.
+        assert_eq!(rank_distance(&[0, 2, 0], 2), 1);
+    }
+
+    #[test]
+    fn faults_create_bounded_distance() {
+        // f faults can empty at most f rank states.
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        for f in [1usize, 3, 8] {
+            let mut counts = vec![1u32; 30];
+            perturb_counts(&mut counts, 30, f, &mut rng);
+            assert!(rank_distance(&counts, 30) <= f);
+        }
+    }
+
+    #[test]
+    fn recovery_returns_to_silence() {
+        let p = Ag { n: 24 };
+        for f in [1usize, 4, 12] {
+            let rep = recovery_after_faults(&p, f, 100 + f as u64, u64::MAX).unwrap();
+            assert!(rep.faults_applied <= f);
+            assert!(rep.distance_after_faults <= rep.faults_applied);
+        }
+    }
+
+    #[test]
+    fn zero_faults_recover_instantly() {
+        let p = Ag { n: 16 };
+        let rep = recovery_after_faults(&p, 0, 5, 100).unwrap();
+        assert_eq!(rep.faults_applied, 0);
+        assert_eq!(rep.recovered.interactions, 0);
+    }
+
+    #[test]
+    fn more_faults_cost_more_recovery_time() {
+        // Statistical: mean recovery after 12 faults should exceed mean
+        // recovery after 1 fault at n = 48.
+        let p = Ag { n: 48 };
+        let mean = |f: usize| -> f64 {
+            (0..20u64)
+                .map(|t| {
+                    recovery_after_faults(&p, f, 1_000 + t, u64::MAX)
+                        .unwrap()
+                        .recovered
+                        .parallel_time
+                })
+                .sum::<f64>()
+                / 20.0
+        };
+        assert!(mean(12) > mean(1));
+    }
+
+    #[test]
+    fn timeout_propagates() {
+        let p = Ag { n: 32 };
+        let err = recovery_after_faults(&p, 10, 42, 3);
+        assert!(matches!(err, Err(StabilisationTimeout { .. })));
+    }
+}

@@ -1,0 +1,509 @@
+//! Exact jump-chain (Gillespie-style) simulation.
+//!
+//! Null interactions — ordered pairs whose transition is a no-op — do not
+//! change the configuration, so the embedded chain of *productive*
+//! interactions together with geometrically distributed null-gap lengths is
+//! **exactly** the same stochastic process as the naive simulator, only
+//! without spending time sampling nulls. Near stabilisation, where the
+//! probability of a productive pair drops to `Θ(1/n²)`, this is faster by
+//! orders of magnitude; it is what makes the paper's `Θ(n²)`-time baseline
+//! and `k`-distant experiments tractable.
+//!
+//! The simulator needs to know the total number of productive ordered pairs
+//! `W(C)` in the current configuration `C` and to sample one uniformly.
+//! Protocols declare their productive-pair structure via
+//! [`ProductiveClasses`]; `W` decomposes as
+//!
+//! ```text
+//! W = Σ_s c_s(c_s − 1)·[equal-rank rule at s]      (Fenwick tree)
+//!   + E(E − 1)·[all extra–extra pairs productive]
+//!   + R·E·(0 | 1 | 2)                              (rank–extra cross)
+//! ```
+//!
+//! where `R`/`E` are the numbers of agents in rank/extra states.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//! use ssr_engine::jump::JumpSimulation;
+//!
+//! struct Ag { n: usize }
+//! impl Protocol for Ag {
+//!     fn name(&self) -> &str { "A_G" }
+//!     fn population_size(&self) -> usize { self.n }
+//!     fn num_states(&self) -> usize { self.n }
+//!     fn num_rank_states(&self) -> usize { self.n }
+//!     fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+//!         (i == r).then(|| (i, (r + 1) % self.n as State))
+//!     }
+//! }
+//! impl ProductiveClasses for Ag {}
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = Ag { n: 64 };
+//! let mut sim = JumpSimulation::new(&p, vec![0; 64], 42)?;
+//! let report = sim.run_until_silent(u64::MAX)?;
+//! assert!(sim.is_silent());
+//! assert!(report.interactions >= report.productive_interactions);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::{ConfigError, StabilisationTimeout};
+use crate::fenwick::Fenwick;
+use crate::init;
+use crate::protocol::{ExtraRankCross, ProductiveClasses, State};
+use crate::rng::Xoshiro256;
+use crate::sim::StabilisationReport;
+
+/// Jump-chain simulation over per-state occupancy counts.
+///
+/// Operates on the (anonymous) counts representation: agents are
+/// indistinguishable, so the multiset of states is the full configuration.
+pub struct JumpSimulation<'a, P: ProductiveClasses + ?Sized> {
+    protocol: &'a P,
+    counts: Vec<u32>,
+    /// Per-rank-state productive weight `c(c−1)` where an equal-rank rule
+    /// exists.
+    eq: Fenwick,
+    /// Per-rank-state occupancy `c` (for cross-pair sampling).
+    rank_occ: Fenwick,
+    has_eq: Vec<bool>,
+    num_ranks: usize,
+    rank_agents: u64,
+    extra_agents: u64,
+    cross: ExtraRankCross,
+    xx_all: bool,
+    interactions: u64,
+    productive: u64,
+    ordered_pairs: u64,
+    rng: Xoshiro256,
+}
+
+impl<'a, P: ProductiveClasses + ?Sized> JumpSimulation<'a, P> {
+    /// Start from an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on population or state-range mismatch.
+    pub fn new(protocol: &'a P, config: Vec<State>, seed: u64) -> Result<Self, ConfigError> {
+        let n = protocol.population_size();
+        if config.len() != n {
+            return Err(ConfigError::WrongPopulation {
+                expected: n,
+                got: config.len(),
+            });
+        }
+        init::validate(&config, protocol.num_states())?;
+        Self::from_counts(
+            protocol,
+            init::counts(&config, protocol.num_states()),
+            seed,
+        )
+    }
+
+    /// Start from per-state occupancy counts (must sum to the population).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::WrongPopulation`] if counts do not sum to `n`
+    /// or the counts vector length differs from the state-space size.
+    pub fn from_counts(
+        protocol: &'a P,
+        counts: Vec<u32>,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        let n = protocol.population_size();
+        if counts.len() != protocol.num_states() {
+            return Err(ConfigError::WrongPopulation {
+                expected: protocol.num_states(),
+                got: counts.len(),
+            });
+        }
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        if total != n as u64 {
+            return Err(ConfigError::WrongPopulation {
+                expected: n,
+                got: total as usize,
+            });
+        }
+        let num_ranks = protocol.num_rank_states();
+        let has_eq: Vec<bool> = (0..num_ranks)
+            .map(|s| protocol.has_equal_rank_rule(s as State))
+            .collect();
+        let mut eq = Fenwick::new(num_ranks);
+        let mut rank_occ = Fenwick::new(num_ranks);
+        let mut rank_agents = 0u64;
+        for s in 0..num_ranks {
+            let c = counts[s] as u64;
+            rank_agents += c;
+            rank_occ.set(s, c);
+            if has_eq[s] {
+                eq.set(s, c * c.saturating_sub(1));
+            }
+        }
+        let extra_agents = n as u64 - rank_agents;
+        Ok(JumpSimulation {
+            protocol,
+            counts,
+            eq,
+            rank_occ,
+            has_eq,
+            num_ranks,
+            rank_agents,
+            extra_agents,
+            cross: protocol.extra_rank_cross(),
+            xx_all: protocol.extra_extra_all(),
+            interactions: 0,
+            productive: 0,
+            ordered_pairs: (n as u64) * (n as u64 - 1),
+            rng: Xoshiro256::seed_from_u64(seed),
+        })
+    }
+
+    /// Current per-state occupancy counts.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total interactions simulated (nulls included, counted exactly).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Productive interactions executed.
+    pub fn productive_interactions(&self) -> u64 {
+        self.productive
+    }
+
+    /// Parallel time elapsed: interactions / n.
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.protocol.population_size() as f64
+    }
+
+    /// Number of productive ordered pairs in the current configuration.
+    pub fn productive_pairs(&self) -> u64 {
+        self.eq.total() + self.xx_weight() + self.cross_weight()
+    }
+
+    /// Silent iff no ordered pair is productive.
+    pub fn is_silent(&self) -> bool {
+        self.productive_pairs() == 0
+    }
+
+    #[inline]
+    fn xx_weight(&self) -> u64 {
+        if self.xx_all {
+            self.extra_agents * self.extra_agents.saturating_sub(1)
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn cross_weight(&self) -> u64 {
+        match self.cross {
+            ExtraRankCross::None => 0,
+            ExtraRankCross::RankInitiatorOnly => self.rank_agents * self.extra_agents,
+            ExtraRankCross::Symmetric => 2 * self.rank_agents * self.extra_agents,
+        }
+    }
+
+    #[inline]
+    fn update_count(&mut self, s: State, delta: i64) {
+        let su = s as usize;
+        let c = (self.counts[su] as i64 + delta) as u32;
+        self.counts[su] = c;
+        if su < self.num_ranks {
+            self.rank_agents = (self.rank_agents as i64 + delta) as u64;
+            self.rank_occ.set(su, c as u64);
+            if self.has_eq[su] {
+                let c = c as u64;
+                self.eq.set(su, c * c.saturating_sub(1));
+            }
+        } else {
+            self.extra_agents = (self.extra_agents as i64 + delta) as u64;
+        }
+    }
+
+    /// Sample the `idx`-th extra **agent** (0-based over all agents in
+    /// extra states, grouped by state id) and return its state.
+    fn extra_state_at(&self, mut idx: u64, skip_one_of: Option<State>) -> State {
+        for s in self.num_ranks..self.counts.len() {
+            let mut c = self.counts[s] as u64;
+            if skip_one_of == Some(s as State) {
+                c -= 1;
+            }
+            if idx < c {
+                return s as State;
+            }
+            idx -= c;
+        }
+        unreachable!("extra agent index out of range");
+    }
+
+    /// Execute one productive interaction (plus the geometric number of
+    /// preceding nulls). Returns the ordered state pair rewritten, or
+    /// `None` if the configuration is silent.
+    pub fn step_productive(&mut self) -> Option<((State, State), (State, State))> {
+        let w_eq = self.eq.total();
+        let w_xx = self.xx_weight();
+        let w_cross = self.cross_weight();
+        let w = w_eq + w_xx + w_cross;
+        if w == 0 {
+            return None;
+        }
+        debug_assert!(w <= self.ordered_pairs);
+        let p = w as f64 / self.ordered_pairs as f64;
+        self.interactions += self.rng.geometric(p) + 1;
+        self.productive += 1;
+
+        let mut u = self.rng.below(w);
+        let (si, sr) = if u < w_eq {
+            let s = self.eq.sample(u) as State;
+            (s, s)
+        } else if u < w_eq + w_xx {
+            u -= w_eq;
+            let e = self.extra_agents;
+            let a = u / (e - 1);
+            let b = u % (e - 1);
+            let s1 = self.extra_state_at(a, None);
+            let s2 = self.extra_state_at(b, Some(s1));
+            (s1, s2)
+        } else {
+            u -= w_eq + w_xx;
+            let re = self.rank_agents * self.extra_agents;
+            let (extra_initiates, rem) = match self.cross {
+                ExtraRankCross::RankInitiatorOnly => (false, u),
+                ExtraRankCross::Symmetric => (u >= re, u % re),
+                ExtraRankCross::None => unreachable!(),
+            };
+            let rank_idx = rem / self.extra_agents;
+            let extra_idx = rem % self.extra_agents;
+            let rank_state = self.rank_occ.sample(rank_idx) as State;
+            let extra_state = self.extra_state_at(extra_idx, None);
+            if extra_initiates {
+                (extra_state, rank_state)
+            } else {
+                (rank_state, extra_state)
+            }
+        };
+
+        let (si2, sr2) = self
+            .protocol
+            .transition(si, sr)
+            .unwrap_or_else(|| {
+                panic!(
+                    "ProductiveClasses declared ({si},{sr}) productive but \
+                     transition returned None (protocol contract violation)"
+                )
+            });
+        debug_assert!(si2 != si || sr2 != sr, "identity rewrite for ({si},{sr})");
+        if si != si2 {
+            self.update_count(si, -1);
+            self.update_count(si2, 1);
+        }
+        if sr != sr2 {
+            self.update_count(sr, -1);
+            self.update_count(sr2, 1);
+        }
+        Some(((si, sr), (si2, sr2)))
+    }
+
+    /// Run until silent or until more than `max_interactions` have elapsed.
+    ///
+    /// Semantics match the naive simulator: success is reported only when
+    /// the last productive interaction falls within the cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StabilisationTimeout`] when the cap is exceeded first.
+    pub fn run_until_silent(
+        &mut self,
+        max_interactions: u64,
+    ) -> Result<StabilisationReport, StabilisationTimeout> {
+        loop {
+            if self.is_silent() {
+                if self.interactions <= max_interactions {
+                    return Ok(StabilisationReport {
+                        interactions: self.interactions,
+                        productive_interactions: self.productive,
+                        parallel_time: self.parallel_time(),
+                    });
+                }
+                return Err(StabilisationTimeout {
+                    interactions: max_interactions,
+                });
+            }
+            if self.interactions >= max_interactions {
+                return Err(StabilisationTimeout {
+                    interactions: self.interactions,
+                });
+            }
+            self.step_productive();
+        }
+    }
+
+    /// Move one agent from state `from` to state `to` (transient-fault
+    /// injection). All sampling weights are kept consistent; the
+    /// interaction clock is not advanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is unoccupied or either state id is out of range.
+    pub fn inject_fault(&mut self, from: State, to: State) {
+        assert!(
+            (from as usize) < self.counts.len() && (to as usize) < self.counts.len(),
+            "state out of range"
+        );
+        assert!(self.counts[from as usize] > 0, "state {from} is unoccupied");
+        if from == to {
+            return;
+        }
+        self.update_count(from, -1);
+        self.update_count(to, 1);
+    }
+
+    /// Consume the simulation and return the final occupancy counts.
+    pub fn into_counts(self) -> Vec<u32> {
+        self.counts
+    }
+}
+
+impl<P: ProductiveClasses + ?Sized> std::fmt::Debug for JumpSimulation<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JumpSimulation")
+            .field("protocol", &self.protocol.name())
+            .field("n", &self.protocol.population_size())
+            .field("interactions", &self.interactions)
+            .field("productive", &self.productive)
+            .field("silent", &self.is_silent())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+    use crate::sim::Simulation;
+
+    struct Ag {
+        n: usize,
+    }
+    impl Protocol for Ag {
+        fn name(&self) -> &str {
+            "A_G"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_rank_states(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            if i == r {
+                Some((i, (r + 1) % self.n as State))
+            } else {
+                None
+            }
+        }
+    }
+    impl ProductiveClasses for Ag {}
+
+    #[test]
+    fn stabilises_to_perfect_ranking() {
+        let p = Ag { n: 32 };
+        let mut sim = JumpSimulation::new(&p, vec![0; 32], 5).unwrap();
+        sim.run_until_silent(u64::MAX).unwrap();
+        assert!(sim.counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn silent_start_reports_zero() {
+        let p = Ag { n: 8 };
+        let mut sim = JumpSimulation::new(&p, (0..8).collect(), 5).unwrap();
+        let rep = sim.run_until_silent(10).unwrap();
+        assert_eq!(rep.interactions, 0);
+        assert_eq!(rep.productive_interactions, 0);
+    }
+
+    #[test]
+    fn from_counts_validates_total() {
+        let p = Ag { n: 4 };
+        assert!(JumpSimulation::from_counts(&p, vec![1, 1, 1, 0], 1).is_err());
+        assert!(JumpSimulation::from_counts(&p, vec![4, 0, 0, 0], 1).is_ok());
+        assert!(JumpSimulation::from_counts(&p, vec![4, 0, 0], 1).is_err());
+    }
+
+    #[test]
+    fn timeout_semantics() {
+        let p = Ag { n: 16 };
+        let mut sim = JumpSimulation::new(&p, vec![0; 16], 3).unwrap();
+        let err = sim.run_until_silent(2).unwrap_err();
+        assert!(err.interactions >= 2);
+    }
+
+    #[test]
+    fn interactions_always_at_least_productive() {
+        let p = Ag { n: 16 };
+        let mut sim = JumpSimulation::new(&p, vec![0; 16], 7).unwrap();
+        let rep = sim.run_until_silent(u64::MAX).unwrap();
+        assert!(rep.interactions >= rep.productive_interactions);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = Ag { n: 24 };
+        let run = |seed| {
+            let mut s = JumpSimulation::new(&p, vec![3; 24], seed).unwrap();
+            s.run_until_silent(u64::MAX).unwrap().interactions
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    /// The jump chain and naive chain are the same process: compare mean
+    /// stabilisation times from a stacked start over many trials.
+    #[test]
+    fn statistically_matches_naive_simulator() {
+        let p = Ag { n: 12 };
+        let trials = 300;
+        let mean = |jump: bool| -> f64 {
+            let total: u64 = (0..trials)
+                .map(|t| {
+                    let cfg = vec![0u32; 12];
+                    if jump {
+                        let mut s =
+                            JumpSimulation::new(&p, cfg, 1000 + t).unwrap();
+                        s.run_until_silent(u64::MAX).unwrap().interactions
+                    } else {
+                        let mut s = Simulation::new(&p, cfg, 2000 + t).unwrap();
+                        s.run_until_silent(u64::MAX).unwrap().interactions
+                    }
+                })
+                .sum();
+            total as f64 / trials as f64
+        };
+        let mj = mean(true);
+        let mn = mean(false);
+        let rel = (mj - mn).abs() / mn;
+        assert!(
+            rel < 0.15,
+            "jump mean {mj:.0} vs naive mean {mn:.0} (rel diff {rel:.3})"
+        );
+    }
+
+    #[test]
+    fn productive_pairs_counts_equal_rule_weight() {
+        let p = Ag { n: 6 };
+        // counts: 3 agents in state 0, 2 in state 1, 1 in state 2.
+        let sim =
+            JumpSimulation::from_counts(&p, vec![3, 2, 1, 0, 0, 0], 1).unwrap();
+        // 3·2 + 2·1 = 8 productive ordered pairs.
+        assert_eq!(sim.productive_pairs(), 8);
+    }
+}

@@ -1,0 +1,75 @@
+//! # ssr-engine — population-protocol simulation substrate
+//!
+//! A from-scratch implementation of the probabilistic population-protocol
+//! model used by the paper *"Improving Efficiency in Near-State and
+//! State-Optimal Self-Stabilising Leader Election Population Protocols"*
+//! (PODC 2025): `n` anonymous agents, each holding one state; in every step
+//! the random scheduler draws an ordered pair (initiator, responder)
+//! uniformly among the `n(n−1)` ordered pairs of distinct agents and applies
+//! the protocol's deterministic transition function. *Parallel time* is the
+//! number of interactions divided by `n`.
+//!
+//! ## Components
+//!
+//! * [`protocol`] — the [`Protocol`](protocol::Protocol) trait, the ranking
+//!   contract, and the [`ProductiveClasses`](protocol::ProductiveClasses)
+//!   declaration that enables exact null-skipping.
+//! * [`sim`] — the naive step-by-step simulator with observer hooks.
+//! * [`jump`] — the exact jump-chain simulator (skips null interactions,
+//!   same stochastic process, orders of magnitude faster near silence).
+//! * [`init`] — initial-configuration generators (`k`-distant, uniform
+//!   random, stacked, …).
+//! * [`runner`] — parallel multi-trial driver with deterministic seeding.
+//! * [`observer`] — invariant checkers and time-series recorders.
+//! * [`rng`], [`fenwick`] — deterministic RNG and weighted sampling.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//! use ssr_engine::jump::JumpSimulation;
+//!
+//! /// The generic state-optimal ranking protocol A_G.
+//! struct Ag { n: usize }
+//! impl Protocol for Ag {
+//!     fn name(&self) -> &str { "A_G" }
+//!     fn population_size(&self) -> usize { self.n }
+//!     fn num_states(&self) -> usize { self.n }
+//!     fn num_rank_states(&self) -> usize { self.n }
+//!     fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+//!         (i == r).then(|| (i, (r + 1) % self.n as State))
+//!     }
+//! }
+//! impl ProductiveClasses for Ag {}
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let protocol = Ag { n: 100 };
+//! let mut sim = JumpSimulation::new(&protocol, vec![0; 100], 1)?;
+//! let report = sim.run_until_silent(u64::MAX)?;
+//! println!("stabilised in parallel time {:.1}", report.parallel_time);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod faults;
+pub mod fenwick;
+pub mod init;
+pub mod jump;
+pub mod observer;
+pub mod protocol;
+pub mod rng;
+pub mod runner;
+pub mod schedule;
+pub mod sim;
+
+pub use error::{ConfigError, StabilisationTimeout};
+pub use faults::{perturb_counts, rank_distance, recovery_after_faults, RecoveryReport};
+pub use jump::JumpSimulation;
+pub use protocol::{ExtraRankCross, ProductiveClasses, Protocol, State};
+pub use runner::{run_trials, Backend, TrialConfig, TrialResults};
+pub use schedule::{ClusteredScheduler, Scheduler, UniformScheduler, ZipfScheduler};
+pub use sim::{Simulation, StabilisationReport};

@@ -1,0 +1,367 @@
+//! The population-protocol abstraction.
+//!
+//! A protocol is a finite state space plus a deterministic transition
+//! function on *ordered* pairs of states. In each step of the probabilistic
+//! model, the random scheduler draws an ordered pair of distinct agents
+//! (*initiator*, *responder*) uniformly from the population of size `n`;
+//! their states are rewritten by [`Protocol::transition`]. *Parallel time*
+//! is interactions divided by `n`.
+//!
+//! # The ranking contract
+//!
+//! Every protocol in this workspace solves the **ranking problem**: the
+//! state space is `n` *rank states* (ids `0..num_rank_states`) plus `x`
+//! *extra states* (ids `num_rank_states..num_states`), and the protocol must
+//! silently stabilise with each of the `n` agents in a distinct rank state.
+//! Implementations must uphold:
+//!
+//! 1. `transition` returns `Some` **only** when at least one of the two
+//!    agents actually changes state (no-op rewrites must return `None`);
+//! 2. a configuration is **silent** (no ordered pair is productive) if and
+//!    only if all agents occupy pairwise-distinct rank states;
+//! 3. the number of agents is conserved by every rule (trivially true here:
+//!    rules rewrite exactly the two participants).
+//!
+//! [`validate_ranking_contract`] checks 1–2 exhaustively for small instances
+//! and is used throughout the test suites.
+
+/// Dense state identifier. Rank states come first (`0..num_rank_states`),
+/// extra states after.
+pub type State = u32;
+
+/// A population protocol for the ranking problem.
+///
+/// # Examples
+///
+/// The one-rule generic protocol `A_G` (`i + i → i + (i+1 mod n)`):
+///
+/// ```
+/// use ssr_engine::protocol::{Protocol, State};
+///
+/// struct Ag { n: usize }
+/// impl Protocol for Ag {
+///     fn name(&self) -> &str { "A_G" }
+///     fn population_size(&self) -> usize { self.n }
+///     fn num_states(&self) -> usize { self.n }
+///     fn num_rank_states(&self) -> usize { self.n }
+///     fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+///         (i == r).then(|| (i, (r + 1) % self.n as State))
+///     }
+/// }
+///
+/// let p = Ag { n: 4 };
+/// assert_eq!(p.transition(2, 2), Some((2, 3)));
+/// assert_eq!(p.transition(2, 3), None);
+/// ```
+pub trait Protocol {
+    /// Human-readable protocol name (used in reports and tables).
+    fn name(&self) -> &str;
+
+    /// The population size `n` the protocol instance is built for.
+    fn population_size(&self) -> usize;
+
+    /// Total number of states (`n` rank states + `x` extra states).
+    fn num_states(&self) -> usize;
+
+    /// Number of rank states; always equals [`population_size`] for ranking
+    /// protocols. Rank states are ids `0..num_rank_states`.
+    ///
+    /// [`population_size`]: Protocol::population_size
+    fn num_rank_states(&self) -> usize;
+
+    /// Apply the transition function to an ordered pair
+    /// `(initiator, responder)`.
+    ///
+    /// Returns the rewritten pair, or `None` if the interaction is a null
+    /// interaction (leaves both agents unchanged).
+    fn transition(&self, initiator: State, responder: State) -> Option<(State, State)>;
+
+    /// Number of extra (non-rank) states `x`.
+    fn num_extra_states(&self) -> usize {
+        self.num_states() - self.num_rank_states()
+    }
+
+    /// Whether `s` is a rank state.
+    fn is_rank_state(&self, s: State) -> bool {
+        (s as usize) < self.num_rank_states()
+    }
+}
+
+/// How extra states interact with rank states, as seen by the jump-chain
+/// simulator (see [`ProductiveClasses`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtraRankCross {
+    /// No (rank, extra) ordered pair is ever productive.
+    None,
+    /// Exactly the pairs with the **rank agent as initiator** and the extra
+    /// agent as responder are productive (all of them).
+    RankInitiatorOnly,
+    /// Every ordered pair of one rank agent and one extra agent is
+    /// productive, in both orders.
+    Symmetric,
+}
+
+/// Declares the exact set of *productive* ordered state pairs so that the
+/// jump-chain simulator ([`crate::jump::JumpSimulation`]) can skip null
+/// interactions without sampling them.
+///
+/// The declaration must be exact:
+///
+/// * an ordered pair of agents in the **same rank state** `s` is productive
+///   iff [`has_equal_rank_rule`]`(s)`;
+/// * an ordered pair of two agents in **extra states** (equal or not) is
+///   productive iff [`extra_extra_all`]` == true` (all such pairs) and never
+///   otherwise;
+/// * ordered (rank, extra) mixed pairs follow [`extra_rank_cross`];
+/// * an ordered pair of agents in **distinct rank states** is never
+///   productive.
+///
+/// All four protocols in `ssr-core` fit this shape, which is what makes a
+/// generic exact-jump simulator possible. [`validate_productive_classes`]
+/// cross-checks a declaration against [`Protocol::transition`] exhaustively.
+///
+/// [`has_equal_rank_rule`]: ProductiveClasses::has_equal_rank_rule
+/// [`extra_extra_all`]: ProductiveClasses::extra_extra_all
+/// [`extra_rank_cross`]: ProductiveClasses::extra_rank_cross
+pub trait ProductiveClasses: Protocol {
+    /// Whether two agents meeting in rank state `s` interact productively.
+    ///
+    /// The default queries the transition function directly; implementors
+    /// may override with a cheaper test.
+    fn has_equal_rank_rule(&self, s: State) -> bool {
+        debug_assert!(self.is_rank_state(s));
+        self.transition(s, s).is_some()
+    }
+
+    /// Whether *every* ordered pair of agents in extra states (including
+    /// both in the same extra state) is productive.
+    fn extra_extra_all(&self) -> bool {
+        false
+    }
+
+    /// Productivity of mixed (rank, extra) ordered pairs.
+    fn extra_rank_cross(&self) -> ExtraRankCross {
+        ExtraRankCross::None
+    }
+}
+
+/// Exhaustively verify that a [`ProductiveClasses`] declaration matches the
+/// transition function, and that `transition` never returns identity
+/// rewrites. Cost is `O(num_states²)`; intended for tests on small
+/// instances.
+///
+/// # Errors
+///
+/// Returns a description of the first violated pair.
+pub fn validate_productive_classes<P: ProductiveClasses + ?Sized>(
+    p: &P,
+) -> Result<(), String> {
+    let s_total = p.num_states() as State;
+    for a in 0..s_total {
+        for b in 0..s_total {
+            let out = p.transition(a, b);
+            if let Some((a2, b2)) = out {
+                if a2 == a && b2 == b {
+                    return Err(format!(
+                        "transition({a},{b}) returned an identity rewrite"
+                    ));
+                }
+            }
+            let productive = out.is_some();
+            let declared = declared_productive(p, a, b);
+            if productive != declared {
+                return Err(format!(
+                    "pair ({a},{b}): transition productive={productive} but \
+                     ProductiveClasses declares {declared}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn declared_productive<P: ProductiveClasses + ?Sized>(p: &P, a: State, b: State) -> bool {
+    let ra = p.is_rank_state(a);
+    let rb = p.is_rank_state(b);
+    match (ra, rb) {
+        (true, true) => a == b && p.has_equal_rank_rule(a),
+        (false, false) => p.extra_extra_all(),
+        (true, false) => matches!(
+            p.extra_rank_cross(),
+            ExtraRankCross::RankInitiatorOnly | ExtraRankCross::Symmetric
+        ),
+        (false, true) => matches!(p.extra_rank_cross(), ExtraRankCross::Symmetric),
+    }
+}
+
+/// Check that a configuration of all-distinct rank states is a fixed point,
+/// i.e. that the protocol is *silent* once ranking is achieved: no ordered
+/// pair of **distinct** rank states may be productive.
+///
+/// # Errors
+///
+/// Returns the first productive distinct-rank pair found.
+pub fn validate_distinct_ranks_silent<P: Protocol + ?Sized>(p: &P) -> Result<(), String> {
+    let n = p.num_rank_states() as State;
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && p.transition(a, b).is_some() {
+                return Err(format!(
+                    "distinct rank pair ({a},{b}) is productive; \
+                     a perfect ranking would not be silent"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Composite check of the full ranking contract (see module docs) for small
+/// instances: class declaration exactness, no identity rewrites, and
+/// silence of perfect rankings.
+///
+/// # Errors
+///
+/// Propagates the first failure from either validator.
+pub fn validate_ranking_contract<P: ProductiveClasses + ?Sized>(p: &P) -> Result<(), String> {
+    validate_productive_classes(p)?;
+    validate_distinct_ranks_silent(p)?;
+    if p.num_rank_states() != p.population_size() {
+        return Err(format!(
+            "ranking protocol must have exactly n rank states \
+             (n = {}, rank states = {})",
+            p.population_size(),
+            p.num_rank_states()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal correct protocol: A_G.
+    struct Ag {
+        n: usize,
+    }
+    impl Protocol for Ag {
+        fn name(&self) -> &str {
+            "A_G"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_rank_states(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            if i == r {
+                Some((i, (r + 1) % self.n as State))
+            } else {
+                None
+            }
+        }
+    }
+    impl ProductiveClasses for Ag {}
+
+    #[test]
+    fn ag_satisfies_contract() {
+        validate_ranking_contract(&Ag { n: 7 }).unwrap();
+    }
+
+    #[test]
+    fn extra_state_accessors() {
+        let p = Ag { n: 5 };
+        assert_eq!(p.num_extra_states(), 0);
+        assert!(p.is_rank_state(4));
+    }
+
+    /// A broken protocol whose declaration over-claims productivity.
+    struct OverClaim;
+    impl Protocol for OverClaim {
+        fn name(&self) -> &str {
+            "over"
+        }
+        fn population_size(&self) -> usize {
+            3
+        }
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn num_rank_states(&self) -> usize {
+            3
+        }
+        fn transition(&self, _i: State, _r: State) -> Option<(State, State)> {
+            None
+        }
+    }
+    impl ProductiveClasses for OverClaim {
+        fn has_equal_rank_rule(&self, _s: State) -> bool {
+            true // lies: transition never fires
+        }
+    }
+
+    #[test]
+    fn over_claiming_declaration_rejected() {
+        assert!(validate_productive_classes(&OverClaim).is_err());
+    }
+
+    /// A broken protocol returning identity rewrites.
+    struct Identity;
+    impl Protocol for Identity {
+        fn name(&self) -> &str {
+            "id"
+        }
+        fn population_size(&self) -> usize {
+            2
+        }
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn num_rank_states(&self) -> usize {
+            2
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            Some((i, r))
+        }
+    }
+    impl ProductiveClasses for Identity {}
+
+    #[test]
+    fn identity_rewrites_rejected() {
+        assert!(validate_productive_classes(&Identity).is_err());
+    }
+
+    /// A protocol that is not silent on perfect rankings.
+    struct Noisy;
+    impl Protocol for Noisy {
+        fn name(&self) -> &str {
+            "noisy"
+        }
+        fn population_size(&self) -> usize {
+            3
+        }
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn num_rank_states(&self) -> usize {
+            3
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            if i == 0 && r == 1 {
+                Some((0, 2))
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn non_silent_ranking_rejected() {
+        assert!(validate_distinct_ranks_silent(&Noisy).is_err());
+    }
+}

@@ -1,0 +1,352 @@
+//! Deterministic, dependency-free random number generation for the hot
+//! simulation loop.
+//!
+//! The simulators draw billions of scheduler choices; we use a local
+//! [Xoshiro256++][xo] generator seeded through SplitMix64 so that every
+//! experiment is exactly reproducible from a single `u64` seed, independent
+//! of external crate versions.
+//!
+//! [xo]: https://prng.di.unimi.it/
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_engine::rng::Xoshiro256;
+//!
+//! let mut rng = Xoshiro256::seed_from_u64(42);
+//! let a = rng.next_u64();
+//! let b = rng.below(10);
+//! assert!(b < 10);
+//! let mut rng2 = Xoshiro256::seed_from_u64(42);
+//! assert_eq!(rng2.next_u64(), a);
+//! ```
+
+/// SplitMix64 step: used to expand a single `u64` seed into generator state
+/// and to derive independent per-trial seeds.
+///
+/// # Examples
+///
+/// ```
+/// let s = ssr_engine::rng::split_mix64(&mut 1);
+/// assert_ne!(s, 0);
+/// ```
+#[inline]
+pub fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed for trial `index` from a base experiment seed.
+///
+/// Distinct `(base, index)` pairs yield statistically independent streams,
+/// so parallel trials never share randomness.
+///
+/// # Examples
+///
+/// ```
+/// let a = ssr_engine::rng::derive_seed(7, 0);
+/// let b = ssr_engine::rng::derive_seed(7, 1);
+/// assert_ne!(a, b);
+/// ```
+#[inline]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut s = base ^ 0xA076_1D64_78BD_642F;
+    let _ = split_mix64(&mut s);
+    let mut s2 = s ^ index.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    split_mix64(&mut s2)
+}
+
+/// Xoshiro256++ pseudo-random generator.
+///
+/// Fast (sub-nanosecond per draw), 256 bits of state, passes BigCrush.
+/// Not cryptographically secure — this is a simulation RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Create a generator from a 64-bit seed via SplitMix64 expansion.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ssr_engine::rng::Xoshiro256;
+    /// let mut rng = Xoshiro256::seed_from_u64(0);
+    /// assert_ne!(rng.next_u64(), rng.next_u64());
+    /// ```
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = split_mix64(&mut sm);
+        }
+        // An all-zero state is a fixed point of the transition; the SplitMix
+        // expansion cannot produce it, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` using Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, bound)` as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// An ordered pair of distinct indices `(initiator, responder)`,
+    /// uniform over all `n(n-1)` ordered pairs.
+    ///
+    /// This is exactly the paper's random scheduler draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[inline]
+    pub fn ordered_pair(&mut self, n: usize) -> (usize, usize) {
+        debug_assert!(n >= 2, "ordered_pair requires n >= 2");
+        let i = self.below(n as u64) as usize;
+        let mut r = self.below((n - 1) as u64) as usize;
+        if r >= i {
+            r += 1;
+        }
+        (i, r)
+    }
+
+    /// Number of consecutive failures before the first success of a
+    /// Bernoulli(`p`) process (a geometric variate with support `{0,1,...}`).
+    ///
+    /// Used by the jump-chain simulator to account for skipped null
+    /// interactions. `p` is clamped to `(0, 1]`; `p >= 1` always returns 0.
+    #[inline]
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        if p >= 1.0 {
+            return 0;
+        }
+        debug_assert!(p > 0.0, "geometric() requires p > 0");
+        // floor(ln(1-U) / ln(1-p)); ln_1p keeps precision for small p.
+        let u = self.unit_f64();
+        let num = (-u).ln_1p(); // ln(1-u) <= 0
+        let den = (-p).ln_1p(); // ln(1-p) <  0
+        let k = num / den;
+        if k >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            k as u64
+        }
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below((i + 1) as u64) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct values from `0..n` (order unspecified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+        if k * 4 >= n {
+            // Dense regime: partial Fisher–Yates.
+            let mut all: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + self.below((n - i) as u64) as usize;
+                all.swap(i, j);
+            }
+            all.truncate(k);
+            all
+        } else {
+            // Sparse regime: rejection with a hash set.
+            let mut seen = std::collections::HashSet::with_capacity(k * 2);
+            let mut out = Vec::with_capacity(k);
+            while out.len() < k {
+                let v = self.below(n as u64) as usize;
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Xoshiro256::seed_from_u64(123);
+        let mut b = Xoshiro256::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            buckets[v as usize] += 1;
+        }
+        for &b in &buckets {
+            // Expected 10_000 per bucket; allow 10% slack.
+            assert!((9_000..=11_000).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ordered_pair_distinct_and_uniform() {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let n = 5;
+        let mut counts = vec![0u32; n * n];
+        for _ in 0..200_000 {
+            let (i, r) = rng.ordered_pair(n);
+            assert_ne!(i, r);
+            counts[i * n + r] += 1;
+        }
+        let expected = 200_000 / (n * n - n);
+        for i in 0..n {
+            for r in 0..n {
+                if i == r {
+                    assert_eq!(counts[i * n + r], 0);
+                } else {
+                    let c = counts[i * n + r] as i64;
+                    assert!(
+                        (c - expected as i64).abs() < expected as i64 / 5,
+                        "pair ({i},{r}) count {c}, expected ~{expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let p = 0.01;
+        let trials = 50_000;
+        let total: u64 = (0..trials).map(|_| rng.geometric(p)).sum();
+        let mean = total as f64 / trials as f64;
+        let expected = (1.0 - p) / p; // 99
+        assert!(
+            (mean - expected).abs() < expected * 0.05,
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn geometric_certain_success_is_zero() {
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        assert_eq!(rng.geometric(1.0), 0);
+        assert_eq!(rng.geometric(2.0), 0);
+    }
+
+    #[test]
+    fn sample_distinct_both_regimes() {
+        let mut rng = Xoshiro256::seed_from_u64(19);
+        for &(n, k) in &[(10usize, 10usize), (10, 3), (1000, 5), (1000, 900)] {
+            let s = rng.sample_distinct(n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "values must be distinct");
+            assert!(s.iter().all(|&v| v < n));
+        }
+    }
+
+    #[test]
+    fn derive_seed_spreads() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|i| derive_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256::seed_from_u64(23);
+        let mut xs: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

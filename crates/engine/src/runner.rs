@@ -1,0 +1,354 @@
+//! Multi-trial experiment driver.
+//!
+//! "With high probability" statements are measured over many independent
+//! trials; this module runs them in parallel with deterministic per-trial
+//! seeds derived from a single base seed, so an experiment is reproducible
+//! regardless of thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//! use ssr_engine::runner::{run_trials, TrialConfig};
+//!
+//! struct Ag { n: usize }
+//! impl Protocol for Ag {
+//!     fn name(&self) -> &str { "A_G" }
+//!     fn population_size(&self) -> usize { self.n }
+//!     fn num_states(&self) -> usize { self.n }
+//!     fn num_rank_states(&self) -> usize { self.n }
+//!     fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+//!         (i == r).then(|| (i, (r + 1) % self.n as State))
+//!     }
+//! }
+//! impl ProductiveClasses for Ag {}
+//!
+//! let p = Ag { n: 16 };
+//! let cfg = TrialConfig::new(8).with_base_seed(7);
+//! let results = run_trials(&p, |_seed| vec![0; 16], &cfg);
+//! assert_eq!(results.len(), 8);
+//! assert_eq!(results.success_rate(), 1.0);
+//! ```
+
+use crate::error::StabilisationTimeout;
+use crate::jump::JumpSimulation;
+use crate::protocol::{ProductiveClasses, State};
+use crate::rng::derive_seed;
+use crate::sim::{Simulation, StabilisationReport};
+
+/// Parameters for a batch of independent trials.
+#[derive(Debug, Clone)]
+pub struct TrialConfig {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Per-trial interaction cap.
+    pub max_interactions: u64,
+    /// Base seed; trial `t` uses `derive_seed(base_seed, t)`.
+    pub base_seed: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl TrialConfig {
+    /// Config with the given number of trials and permissive defaults
+    /// (unbounded interactions, seed 0, auto thread count).
+    pub fn new(trials: usize) -> Self {
+        TrialConfig {
+            trials,
+            max_interactions: u64::MAX,
+            base_seed: 0,
+            threads: 0,
+        }
+    }
+
+    /// Set the per-trial interaction cap.
+    pub fn with_max_interactions(mut self, max: u64) -> Self {
+        self.max_interactions = max;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Set the number of worker threads (0 = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Results of a batch of trials, in trial order.
+#[derive(Debug, Clone)]
+pub struct TrialResults {
+    reports: Vec<Result<StabilisationReport, StabilisationTimeout>>,
+}
+
+impl TrialResults {
+    /// Number of trials run.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True if no trials were run.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Per-trial outcomes in trial order.
+    pub fn reports(&self) -> &[Result<StabilisationReport, StabilisationTimeout>] {
+        &self.reports
+    }
+
+    /// Fraction of trials that stabilised within the cap.
+    pub fn success_rate(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        self.reports.iter().filter(|r| r.is_ok()).count() as f64 / self.reports.len() as f64
+    }
+
+    /// Parallel stabilisation times of the successful trials.
+    pub fn parallel_times(&self) -> Vec<f64> {
+        self.reports
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|rep| rep.parallel_time))
+            .collect()
+    }
+
+    /// Interaction counts of the successful trials.
+    pub fn interaction_counts(&self) -> Vec<u64> {
+        self.reports
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|rep| rep.interactions))
+            .collect()
+    }
+}
+
+impl FromIterator<Result<StabilisationReport, StabilisationTimeout>> for TrialResults {
+    fn from_iter<I: IntoIterator<Item = Result<StabilisationReport, StabilisationTimeout>>>(
+        iter: I,
+    ) -> Self {
+        TrialResults {
+            reports: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Which simulator backs the trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Step-by-step simulation (supports observers; slower).
+    Naive,
+    /// Exact null-skipping jump chain (default for experiments).
+    Jump,
+}
+
+/// Run `cfg.trials` independent trials of `protocol` using the jump-chain
+/// simulator, in parallel. `make_config(seed)` builds the initial
+/// configuration for a trial; it receives a seed derived from the trial
+/// index so configurations are independent yet reproducible.
+///
+/// # Panics
+///
+/// Panics if `make_config` returns an invalid configuration for the
+/// protocol.
+pub fn run_trials<P, F>(protocol: &P, make_config: F, cfg: &TrialConfig) -> TrialResults
+where
+    P: ProductiveClasses + Sync + ?Sized,
+    F: Fn(u64) -> Vec<State> + Sync,
+{
+    run_trials_backend(protocol, make_config, cfg, Backend::Jump)
+}
+
+/// [`run_trials`] with an explicit simulator backend.
+///
+/// # Panics
+///
+/// Panics if `make_config` returns an invalid configuration.
+pub fn run_trials_backend<P, F>(
+    protocol: &P,
+    make_config: F,
+    cfg: &TrialConfig,
+    backend: Backend,
+) -> TrialResults
+where
+    P: ProductiveClasses + Sync + ?Sized,
+    F: Fn(u64) -> Vec<State> + Sync,
+{
+    let trials = cfg.trials;
+    let threads = cfg.effective_threads().min(trials.max(1));
+    let mut reports: Vec<Option<Result<StabilisationReport, StabilisationTimeout>>> =
+        vec![None; trials];
+
+    if threads <= 1 || trials <= 1 {
+        for (t, slot) in reports.iter_mut().enumerate() {
+            *slot = Some(run_one(protocol, &make_config, cfg, backend, t as u64));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let make_config = &make_config;
+                scope.spawn(move || loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= trials {
+                        break;
+                    }
+                    let r = run_one(protocol, make_config, cfg, backend, t as u64);
+                    tx.send((t, r)).expect("result channel closed");
+                });
+            }
+            drop(tx);
+            for (t, r) in rx {
+                reports[t] = Some(r);
+            }
+        });
+    }
+
+    TrialResults {
+        reports: reports.into_iter().map(|r| r.expect("trial ran")).collect(),
+    }
+}
+
+fn run_one<P, F>(
+    protocol: &P,
+    make_config: &F,
+    cfg: &TrialConfig,
+    backend: Backend,
+    trial: u64,
+) -> Result<StabilisationReport, StabilisationTimeout>
+where
+    P: ProductiveClasses + Sync + ?Sized,
+    F: Fn(u64) -> Vec<State> + Sync,
+{
+    let config_seed = derive_seed(cfg.base_seed, trial * 2);
+    let sim_seed = derive_seed(cfg.base_seed, trial * 2 + 1);
+    let config = make_config(config_seed);
+    match backend {
+        Backend::Jump => {
+            let mut sim = JumpSimulation::new(protocol, config, sim_seed)
+                .expect("make_config produced an invalid configuration");
+            sim.run_until_silent(cfg.max_interactions)
+        }
+        Backend::Naive => {
+            let mut sim = Simulation::new(protocol, config, sim_seed)
+                .expect("make_config produced an invalid configuration");
+            sim.run_until_silent(cfg.max_interactions)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+
+    struct Ag {
+        n: usize,
+    }
+    impl Protocol for Ag {
+        fn name(&self) -> &str {
+            "A_G"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_rank_states(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            if i == r {
+                Some((i, (r + 1) % self.n as State))
+            } else {
+                None
+            }
+        }
+    }
+    impl ProductiveClasses for Ag {}
+
+    #[test]
+    fn all_trials_succeed_and_are_ordered() {
+        let p = Ag { n: 10 };
+        let cfg = TrialConfig::new(12).with_base_seed(5);
+        let res = run_trials(&p, |_s| vec![0; 10], &cfg);
+        assert_eq!(res.len(), 12);
+        assert_eq!(res.success_rate(), 1.0);
+        assert_eq!(res.parallel_times().len(), 12);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let p = Ag { n: 10 };
+        let base = TrialConfig::new(8).with_base_seed(42);
+        let seq = run_trials(&p, |_s| vec![0; 10], &base.clone().with_threads(1));
+        let par = run_trials(&p, |_s| vec![0; 10], &base.with_threads(4));
+        assert_eq!(seq.interaction_counts(), par.interaction_counts());
+    }
+
+    #[test]
+    fn timeouts_counted_in_success_rate() {
+        let p = Ag { n: 10 };
+        let cfg = TrialConfig::new(10)
+            .with_base_seed(1)
+            .with_max_interactions(1);
+        let res = run_trials(&p, |_s| vec![0; 10], &cfg);
+        assert_eq!(res.success_rate(), 0.0);
+        assert!(res.parallel_times().is_empty());
+    }
+
+    #[test]
+    fn naive_backend_works() {
+        let p = Ag { n: 8 };
+        let cfg = TrialConfig::new(4).with_base_seed(3);
+        let res = run_trials_backend(&p, |_s| vec![0; 8], &cfg, Backend::Naive);
+        assert_eq!(res.success_rate(), 1.0);
+    }
+
+    #[test]
+    fn config_seed_feeds_generator() {
+        let p = Ag { n: 8 };
+        let cfg = TrialConfig::new(3).with_base_seed(9);
+        // Build k-distant style configs from the provided seed; just check
+        // different trials get different seeds by recording them.
+        let seen = std::sync::Mutex::new(Vec::new());
+        let _ = run_trials(
+            &p,
+            |seed| {
+                seen.lock().unwrap().push(seed);
+                vec![0; 8]
+            },
+            &cfg,
+        );
+        let seen = seen.into_inner().unwrap();
+        let distinct: std::collections::HashSet<_> = seen.iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let p = Ag { n: 8 };
+        let cfg = TrialConfig::new(0);
+        let res = run_trials(&p, |_s| vec![0; 8], &cfg);
+        assert!(res.is_empty());
+        assert_eq!(res.success_rate(), 0.0);
+    }
+}

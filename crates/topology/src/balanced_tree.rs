@@ -1,0 +1,475 @@
+//! Perfectly balanced binary trees (paper §5, Figure 2).
+//!
+//! The tree of size `k` is defined recursively from its root:
+//!
+//! * `k` odd, `k = 2l + 1`: the root is a **branching node** with two
+//!   children, each the root of an identical perfectly balanced subtree of
+//!   size `l` (for `k = 1` both subtrees are empty, i.e. the root is a
+//!   **leaf**);
+//! * `k` even: the root is a **non-branching node** whose single child
+//!   roots a subtree of size `k − 1`.
+//!
+//! Nodes carry the **pre-order numbers** `0..n`: the root is `0`; the lone
+//! child of a non-branching node `p` is `p + 1`; the children of a
+//! branching node `p` with subtree halves of size `l` are `p + 1` (left)
+//! and `p + l + 1` (right). The paper uses these numbers directly as the
+//! `n` rank states of the §5 protocol.
+//!
+//! Properties guaranteed by the recursion (and verified in tests):
+//! all nodes at the same depth have the same kind, and the height satisfies
+//! `h ≤ 2 log₂ n`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_topology::balanced_tree::{BalancedTree, NodeKind};
+//!
+//! // Figure 2 of the paper: n = 9.
+//! let t = BalancedTree::new(9);
+//! assert_eq!(t.kind(0), NodeKind::Branching);
+//! assert_eq!(t.children(0), (Some(1), Some(5)));
+//! assert_eq!(t.children(2), (Some(3), Some(4)));
+//! assert!(t.is_leaf(8));
+//! ```
+
+/// Role of a node in a perfectly balanced binary tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Root of an odd-size subtree `> 1`: has two children.
+    Branching,
+    /// Root of an even-size subtree: has exactly one child.
+    NonBranching,
+    /// Size-1 subtree: no children.
+    Leaf,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// A perfectly balanced binary tree over pre-order node ids `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BalancedTree {
+    n: usize,
+    kind: Vec<NodeKind>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    subtree: Vec<u32>,
+    height: u32,
+}
+
+impl BalancedTree {
+    /// Build the perfectly balanced binary tree of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a balanced tree needs at least one node");
+        let mut kind = vec![NodeKind::Leaf; n];
+        let mut left = vec![NONE; n];
+        let mut right = vec![NONE; n];
+        let mut parent = vec![NONE; n];
+        let mut depth = vec![0u32; n];
+        let mut subtree = vec![0u32; n];
+        let mut height = 0u32;
+
+        // (preorder id, size, depth, parent)
+        let mut stack: Vec<(usize, usize, u32, u32)> = vec![(0, n, 0, NONE)];
+        while let Some((p, k, d, par)) = stack.pop() {
+            subtree[p] = k as u32;
+            depth[p] = d;
+            parent[p] = par;
+            height = height.max(d);
+            if k == 1 {
+                kind[p] = NodeKind::Leaf;
+            } else if k % 2 == 0 {
+                kind[p] = NodeKind::NonBranching;
+                left[p] = (p + 1) as u32;
+                stack.push((p + 1, k - 1, d + 1, p as u32));
+            } else {
+                kind[p] = NodeKind::Branching;
+                let l = (k - 1) / 2;
+                left[p] = (p + 1) as u32;
+                right[p] = (p + l + 1) as u32;
+                stack.push((p + 1, l, d + 1, p as u32));
+                stack.push((p + l + 1, l, d + 1, p as u32));
+            }
+        }
+
+        BalancedTree {
+            n,
+            kind,
+            left,
+            right,
+            parent,
+            depth,
+            subtree,
+            height,
+        }
+    }
+
+    /// Number of nodes (also the number of rank states it spans).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the impossible empty tree (kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Kind of node `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= len()`.
+    pub fn kind(&self, p: usize) -> NodeKind {
+        self.kind[p]
+    }
+
+    /// True if `p` is a leaf.
+    pub fn is_leaf(&self, p: usize) -> bool {
+        self.kind[p] == NodeKind::Leaf
+    }
+
+    /// True if `p` is a branching node.
+    pub fn is_branching(&self, p: usize) -> bool {
+        self.kind[p] == NodeKind::Branching
+    }
+
+    /// Children `(left, right)` of node `p`; non-branching nodes have only
+    /// a left child, leaves none.
+    pub fn children(&self, p: usize) -> (Option<usize>, Option<usize>) {
+        let conv = |v: u32| (v != NONE).then_some(v as usize);
+        (conv(self.left[p]), conv(self.right[p]))
+    }
+
+    /// Left (or only) child of `p`.
+    pub fn left_child(&self, p: usize) -> Option<usize> {
+        (self.left[p] != NONE).then_some(self.left[p] as usize)
+    }
+
+    /// Right child of `p` (branching nodes only).
+    pub fn right_child(&self, p: usize) -> Option<usize> {
+        (self.right[p] != NONE).then_some(self.right[p] as usize)
+    }
+
+    /// Parent of `p`, `None` for the root.
+    pub fn parent(&self, p: usize) -> Option<usize> {
+        (self.parent[p] != NONE).then_some(self.parent[p] as usize)
+    }
+
+    /// Distance of `p` from the root.
+    pub fn depth(&self, p: usize) -> u32 {
+        self.depth[p]
+    }
+
+    /// Size of the subtree rooted at `p`.
+    pub fn subtree_size(&self, p: usize) -> usize {
+        self.subtree[p] as usize
+    }
+
+    /// Height of the tree (depth of the deepest node).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Half-size `l` at a branching node `p` — the size of each of its two
+    /// identical subtrees, i.e. the offset such that the right child is
+    /// `p + l + 1`. Used by the §5 rule `R1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a branching node.
+    pub fn branch_half(&self, p: usize) -> usize {
+        assert!(self.is_branching(p), "node {p} is not branching");
+        (self.subtree[p] as usize - 1) / 2
+    }
+
+    /// All leaf node ids, ascending.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.n).filter(|&p| self.is_leaf(p)).collect()
+    }
+
+    /// The root-to-leaf path ending at `leaf` (root first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is not a leaf.
+    pub fn root_path(&self, leaf: usize) -> Vec<usize> {
+        assert!(self.is_leaf(leaf), "node {leaf} is not a leaf");
+        let mut path = vec![leaf];
+        let mut cur = leaf;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Verify the structural invariants: pre-order ids form a bijection,
+    /// child arithmetic is consistent, same-depth nodes have uniform kind,
+    /// and `height ≤ 2 log₂ n` (for `n ≥ 2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        // Each non-root node must be the child of exactly one parent.
+        let mut child_of = vec![0u32; self.n];
+        for p in 0..self.n {
+            for c in [self.left[p], self.right[p]] {
+                if c != NONE {
+                    let c = c as usize;
+                    if c >= self.n {
+                        return Err(format!("node {p} has out-of-range child {c}"));
+                    }
+                    child_of[c] += 1;
+                    if self.parent[c] as usize != p {
+                        return Err(format!("child {c} does not point back to {p}"));
+                    }
+                }
+            }
+        }
+        if child_of[0] != 0 {
+            return Err("root has a parent edge".into());
+        }
+        if let Some(bad) = (1..self.n).find(|&p| child_of[p] != 1) {
+            return Err(format!("node {bad} has {} parents", child_of[bad]));
+        }
+        // Level uniformity.
+        let mut level_kind: Vec<Option<NodeKind>> = vec![None; self.height as usize + 1];
+        for p in 0..self.n {
+            let d = self.depth[p] as usize;
+            match level_kind[d] {
+                None => level_kind[d] = Some(self.kind[p]),
+                Some(k) if k == self.kind[p] => {}
+                Some(k) => {
+                    return Err(format!(
+                        "level {d} mixes kinds {:?} and {k:?}",
+                        self.kind[p]
+                    ))
+                }
+            }
+        }
+        // Height bound.
+        if self.n >= 2 {
+            let bound = 2.0 * (self.n as f64).log2();
+            if (self.height as f64) > bound + 1e-9 {
+                return Err(format!(
+                    "height {} exceeds 2·log₂ n = {bound:.2}",
+                    self.height
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_layout_n9() {
+        // Matches Figure 2 of the paper exactly.
+        let t = BalancedTree::new(9);
+        assert_eq!(t.kind(0), NodeKind::Branching);
+        assert_eq!(t.children(0), (Some(1), Some(5)));
+        assert_eq!(t.kind(1), NodeKind::NonBranching);
+        assert_eq!(t.children(1), (Some(2), None));
+        assert_eq!(t.kind(2), NodeKind::Branching);
+        assert_eq!(t.children(2), (Some(3), Some(4)));
+        assert!(t.is_leaf(3) && t.is_leaf(4));
+        assert_eq!(t.kind(5), NodeKind::NonBranching);
+        assert_eq!(t.children(5), (Some(6), None));
+        assert_eq!(t.children(6), (Some(7), Some(8)));
+        assert!(t.is_leaf(7) && t.is_leaf(8));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = BalancedTree::new(1);
+        assert!(t.is_leaf(0));
+        assert_eq!(t.height(), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn even_root_is_non_branching_odd_is_branching() {
+        for n in 2..200 {
+            let t = BalancedTree::new(n);
+            if n % 2 == 0 {
+                assert_eq!(t.kind(0), NodeKind::NonBranching, "n={n}");
+            } else {
+                assert_eq!(t.kind(0), NodeKind::Branching, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn validate_holds_for_many_sizes() {
+        for n in 1..=512 {
+            BalancedTree::new(n).validate().unwrap_or_else(|e| {
+                panic!("n={n}: {e}");
+            });
+        }
+        for n in [1000, 1023, 1024, 1025, 4096, 99_991] {
+            BalancedTree::new(n).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn preorder_child_arithmetic() {
+        let t = BalancedTree::new(37);
+        for p in 0..37 {
+            match t.kind(p) {
+                NodeKind::NonBranching => {
+                    assert_eq!(t.left_child(p), Some(p + 1));
+                    assert_eq!(t.right_child(p), None);
+                }
+                NodeKind::Branching => {
+                    let l = t.branch_half(p);
+                    assert_eq!(t.left_child(p), Some(p + 1));
+                    assert_eq!(t.right_child(p), Some(p + l + 1));
+                    assert_eq!(t.subtree_size(p + 1), l);
+                    assert_eq!(t.subtree_size(p + l + 1), l);
+                }
+                NodeKind::Leaf => {
+                    assert_eq!(t.children(p), (None, None));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_sum_consistently() {
+        let t = BalancedTree::new(100);
+        for p in 0..100 {
+            let expect = 1 + t
+                .children(p)
+                .0
+                .map(|c| t.subtree_size(c))
+                .unwrap_or(0)
+                + t.children(p).1.map(|c| t.subtree_size(c)).unwrap_or(0);
+            assert_eq!(t.subtree_size(p), expect, "node {p}");
+        }
+    }
+
+    #[test]
+    fn root_paths_descend_via_children() {
+        let t = BalancedTree::new(57);
+        for leaf in t.leaves() {
+            let path = t.root_path(leaf);
+            assert_eq!(path[0], 0);
+            assert_eq!(*path.last().unwrap(), leaf);
+            for w in path.windows(2) {
+                let (l, r) = t.children(w[0]);
+                assert!(l == Some(w[1]) || r == Some(w[1]));
+            }
+            // Path length = depth + 1 ≤ height + 1.
+            assert_eq!(path.len() as u32, t.depth(leaf) + 1);
+        }
+    }
+
+    #[test]
+    fn height_bound_tight_cases() {
+        // Powers of two minus one give perfect trees: height exactly log n.
+        let t = BalancedTree::new(127);
+        assert_eq!(t.height(), 6);
+        // Even chains add non-branching levels but stay under 2 log n.
+        for n in [6usize, 14, 62, 1022] {
+            let t = BalancedTree::new(n);
+            assert!((t.height() as f64) <= 2.0 * (n as f64).log2());
+        }
+    }
+
+    #[test]
+    fn leaves_count_matches_branching_structure() {
+        // In any binary tree, #leaves = #branching + 1.
+        for n in [9usize, 10, 33, 100, 255] {
+            let t = BalancedTree::new(n);
+            let leaves = t.leaves().len();
+            let branching = (0..n).filter(|&p| t.is_branching(p)).count();
+            assert_eq!(leaves, branching + 1, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_size_rejected() {
+        BalancedTree::new(0);
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    #[test]
+    fn depths_increase_by_one_along_edges() {
+        let t = BalancedTree::new(200);
+        for p in 0..200 {
+            for c in [t.children(p).0, t.children(p).1].into_iter().flatten() {
+                assert_eq!(t.depth(c), t.depth(p) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn branch_half_only_on_branching() {
+        let t = BalancedTree::new(9);
+        assert_eq!(t.branch_half(0), 4);
+        assert_eq!(t.branch_half(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not branching")]
+    fn branch_half_rejects_non_branching() {
+        BalancedTree::new(9).branch_half(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a leaf")]
+    fn root_path_rejects_internal_nodes() {
+        BalancedTree::new(9).root_path(0);
+    }
+
+    #[test]
+    fn perfect_tree_shape_for_power_of_two_minus_one() {
+        // n = 2^h − 1 gives a perfect binary tree: every level branching
+        // until the leaves, height h − 1.
+        let t = BalancedTree::new(31);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.leaves().len(), 16);
+        for p in 0..31 {
+            if t.kind(p) == NodeKind::NonBranching { panic!("perfect tree has no chains") }
+        }
+    }
+
+    #[test]
+    fn chain_tree_for_small_even_sizes() {
+        // n = 2: root (even) → child leaf.
+        let t = BalancedTree::new(2);
+        assert_eq!(t.kind(0), NodeKind::NonBranching);
+        assert!(t.is_leaf(1));
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(0), None);
+    }
+
+    #[test]
+    fn subtree_sizes_at_same_level_are_equal() {
+        let t = BalancedTree::new(500);
+        let mut by_depth: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        for p in 0..500 {
+            let d = t.depth(p);
+            let s = t.subtree_size(p);
+            let e = by_depth.entry(d).or_insert(s);
+            assert_eq!(*e, s, "level {d} mixes subtree sizes");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # ssr-topology — combinatorial substrates for the ranking protocols
+//!
+//! The paper's protocols are built from three combinatorial tools, all
+//! implemented here from scratch:
+//!
+//! * [`balanced_tree`] — *perfectly balanced binary trees* (§5, Figure 2)
+//!   spanning all `n` rank states in pre-order; the backbone of the
+//!   `O(n log n)` near-state-optimal protocol.
+//! * [`cubic_graph`] — the cubic *routing graph `G`* (§4.2, Figure 1) that
+//!   spreads `X`-agents over the `m²` lines of traps in `O(log m)` hops.
+//! * [`trap_layout`] — state-id layouts for chains of *agent traps* (§2.1)
+//!   with variable trap sizes, supporting arbitrary population sizes `n`
+//!   via the paper's leftover-scattering.
+//!
+//! ```
+//! use ssr_topology::{BalancedTree, CubicGraph, TrapChain};
+//!
+//! let tree = BalancedTree::new(9);          // Figure 2
+//! let graph = CubicGraph::routing_graph(16); // Figure 1
+//! let ring = TrapChain::uniform(3, 4, 0);    // (3, 4)-ring of traps
+//! assert_eq!(tree.children(0), (Some(1), Some(5)));
+//! assert!(graph.is_three_regular());
+//! assert_eq!(ring.num_states(), 12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balanced_tree;
+pub mod cubic_graph;
+pub mod trap_layout;
+
+pub use balanced_tree::{BalancedTree, NodeKind};
+pub use cubic_graph::CubicGraph;
+pub use trap_layout::{distribute, TrapChain};

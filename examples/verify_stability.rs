@@ -1,0 +1,53 @@
+//! Exhaustive stability verification — machine-checked "stable & silent".
+//!
+//! The paper claims its protocols are *stable* (correct with probability 1)
+//! and *silent* from **every** initial configuration. For small populations
+//! this is not a matter of sampling: the model checker in `ssr-analysis`
+//! enumerates the entire configuration space and proves (a) the only silent
+//! configuration is the perfect ranking and (b) it is reachable from
+//! everywhere. This example prints the certificates.
+//!
+//! Run: `cargo run --release --example verify_stability`
+
+use ssr::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("exhaustive stability certificates (entire configuration space):\n");
+    println!(
+        "{:<18} {:>3} {:>8} {:>14} {:>8} {:>12}",
+        "protocol", "n", "states", "configurations", "silent", "transitions"
+    );
+
+    let limit = 3_000_000;
+    for n in [4usize, 6, 8] {
+        let p = GenericRanking::new(n);
+        let cert = verify_stability(&p, limit)?;
+        print_row("generic A_G", n, p.num_states(), &cert);
+
+        let p = RingOfTraps::new(n);
+        let cert = verify_stability(&p, limit)?;
+        print_row("ring of traps", n, p.num_states(), &cert);
+
+        let p = LineOfTraps::new(n);
+        let cert = verify_stability(&p, limit)?;
+        print_row("line of traps", n, p.num_states(), &cert);
+
+        let p = TreeRanking::with_buffer(n, 2);
+        let cert = verify_stability(&p, limit)?;
+        print_row("tree of ranks", n, p.num_states(), &cert);
+    }
+
+    println!(
+        "\nevery protocol: exactly one silent configuration (the perfect \
+         ranking), reachable from every configuration — the paper's \
+         'stable + silent' claim, machine-checked."
+    );
+    Ok(())
+}
+
+fn print_row(name: &str, n: usize, states: usize, cert: &StabilityCertificate) {
+    println!(
+        "{:<18} {:>3} {:>8} {:>14} {:>8} {:>12}",
+        name, n, states, cert.configurations, cert.silent_configurations, cert.transitions
+    );
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the extension layers: fault injection,
+//! schedulers, the loose protocol's transition table, and the ECDF /
+//! bootstrap analysis tools — invariants under arbitrary inputs.
+
+use proptest::prelude::*;
+use ssr::analysis::bootstrap::{bootstrap_ci, BootstrapOptions};
+use ssr::analysis::ecdf::{Ecdf, Histogram};
+use ssr::engine::faults::{perturb_counts, rank_distance};
+use ssr::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fault injection conserves the number of agents and never exceeds
+    /// the requested damage, for arbitrary occupancy landscapes.
+    #[test]
+    fn perturbation_conserves_population(
+        counts in prop::collection::vec(0u32..5, 2..40),
+        faults in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        let mut counts = counts;
+        counts[0] += 1; // ensure non-empty population
+        let total: u32 = counts.iter().sum();
+        let s = counts.len();
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let changed = perturb_counts(&mut counts, s, faults, &mut rng);
+        prop_assert!(changed <= faults);
+        prop_assert_eq!(counts.iter().sum::<u32>(), total);
+    }
+
+    /// From a perfect ranking, `f` faults leave at most `f` rank states
+    /// empty, and `rank_distance` reports exactly the empty ones.
+    #[test]
+    fn fault_distance_bounded_by_faults(
+        n in 2usize..60,
+        faults in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut counts = vec![1u32; n];
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        perturb_counts(&mut counts, n, faults, &mut rng);
+        let k = rank_distance(&counts, n);
+        prop_assert!(k <= faults.min(n));
+        let empties = counts.iter().filter(|&&c| c == 0).count();
+        prop_assert_eq!(k, empties);
+    }
+
+    /// Every scheduler yields ordered pairs of distinct in-range agents
+    /// for arbitrary parameters.
+    #[test]
+    fn schedulers_yield_valid_pairs(
+        n in 4usize..120,
+        theta in 0.0f64..2.5,
+        eps_pct in 1u32..100,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let split = n / 2;
+        let eps = f64::from(eps_pct) / 100.0;
+        let mut uniform = UniformScheduler::new(n);
+        let mut zipf = ZipfScheduler::new(n, theta);
+        let mut clustered = ClusteredScheduler::new(n, split, eps);
+        for _ in 0..200 {
+            for (i, r) in [
+                uniform.next_pair(&mut rng),
+                zipf.next_pair(&mut rng),
+                clustered.next_pair(&mut rng),
+            ] {
+                prop_assert!(i < n && r < n);
+                prop_assert_ne!(i, r);
+            }
+        }
+    }
+
+    /// The loose protocol's transition table never returns identity
+    /// rewrites and never leaves the state space, for any timer ceiling.
+    #[test]
+    fn loose_transitions_are_well_formed(n in 2usize..50, tau in 1u32..40) {
+        let p = LooseLeaderElection::with_timer(n, tau);
+        let s_total = p.num_states() as State;
+        for a in 0..s_total {
+            for b in 0..s_total {
+                if let Some((a2, b2)) = p.transition(a, b) {
+                    prop_assert!(a2 < s_total && b2 < s_total);
+                    prop_assert!(a2 != a || b2 != b, "identity at ({}, {})", a, b);
+                }
+            }
+        }
+    }
+
+    /// ECDF axioms: monotone, 0 below the minimum, 1 at the maximum,
+    /// exceedance is the exact complement.
+    #[test]
+    fn ecdf_axioms(sample in prop::collection::vec(-1e6f64..1e6, 1..60)) {
+        let e = Ecdf::new(sample.clone());
+        let lo = e.values()[0];
+        let hi = *e.values().last().unwrap();
+        prop_assert_eq!(e.eval(lo - 1.0), 0.0);
+        prop_assert_eq!(e.eval(hi), 1.0);
+        let mut prev = 0.0;
+        for &x in e.values() {
+            let f = e.eval(x);
+            prop_assert!(f >= prev);
+            prop_assert!((f + e.exceedance(x) - 1.0).abs() < 1e-12);
+            prev = f;
+        }
+    }
+
+    /// The empirical quantile is a sample value and consistent with the
+    /// CDF: `F(quantile(q)) ≥ q`.
+    #[test]
+    fn ecdf_quantile_consistency(
+        sample in prop::collection::vec(-1e3f64..1e3, 1..50),
+        q in 0.0f64..1.0,
+    ) {
+        let e = Ecdf::new(sample.clone());
+        let v = e.quantile(q);
+        prop_assert!(sample.contains(&v));
+        prop_assert!(e.eval(v) >= q - 1e-12);
+    }
+
+    /// Histogram bins partition the sample: counts sum to the sample size
+    /// and every value falls inside its bin's range.
+    #[test]
+    fn histogram_partitions_sample(
+        sample in prop::collection::vec(-500.0f64..500.0, 1..80),
+        bins in 1usize..12,
+    ) {
+        let h = Histogram::of(&sample, bins);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), sample.len() as u64);
+        let (first_lo, _) = h.bin_range(0);
+        let (_, last_hi) = h.bin_range(bins - 1);
+        for &x in &sample {
+            prop_assert!(x >= first_lo - 1e-9 && x <= last_hi + 1e-9);
+        }
+    }
+
+    /// Bootstrap percentile intervals bracket both the point estimate and
+    /// (for the mean statistic) stay inside the sample range.
+    #[test]
+    fn bootstrap_interval_brackets_point(
+        sample in prop::collection::vec(-100.0f64..100.0, 2..40),
+        seed in any::<u64>(),
+    ) {
+        let opts = BootstrapOptions { resamples: 200, seed, ..Default::default() };
+        let ci = bootstrap_ci(&sample, |xs| xs.iter().sum::<f64>() / xs.len() as f64, &opts);
+        prop_assert!(ci.lower <= ci.point + 1e-9);
+        prop_assert!(ci.point <= ci.upper + 1e-9);
+        let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(ci.lower >= lo - 1e-9 && ci.upper <= hi + 1e-9);
+    }
+}
+
+proptest! {
+    // Simulation-backed properties get fewer cases to stay fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever faults are injected into a silent generic population, the
+    /// jump simulator returns it to the unique silent configuration.
+    #[test]
+    fn recovery_always_restores_perfect_ranking(
+        n in 4usize..40,
+        faults in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let p = GenericRanking::new(n);
+        let rep = ssr::engine::recovery_after_faults(&p, faults, seed, u64::MAX).unwrap();
+        prop_assert!(rep.distance_after_faults <= rep.faults_applied);
+    }
+
+    /// The generic protocol stabilises under arbitrary Zipf skew (time
+    /// may inflate, correctness may not).
+    #[test]
+    fn generic_stabilises_under_any_zipf_skew(
+        theta in 0.0f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let n = 16;
+        let p = GenericRanking::new(n);
+        let mut sched = ZipfScheduler::new(n, theta);
+        let mut sim = Simulation::new(&p, vec![0; n], seed).unwrap();
+        sim.run_until_silent_scheduled(u64::MAX, &mut sched).unwrap();
+        prop_assert!(init::is_perfect_ranking(sim.agents(), n));
+    }
+}
