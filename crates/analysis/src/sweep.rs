@@ -25,7 +25,6 @@
 use crate::regression::{fit_power_law, PowerLawFit};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
-use serde::Serialize;
 use ssr_engine::protocol::{ProductiveClasses, State};
 use ssr_engine::runner::{run_trials, TrialConfig};
 
@@ -67,7 +66,7 @@ impl SweepOptions {
 }
 
 /// One grid point's measurements.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// The grid value (population size, distance `k`, …).
     pub x: f64,
@@ -86,7 +85,7 @@ pub struct SweepRow {
 }
 
 /// All grid points of a sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Per-point rows, in grid order.
     pub rows: Vec<SweepRow>,
@@ -117,6 +116,29 @@ impl SweepResult {
         fit_power_law(&self.xs(), &self.medians())
     }
 
+    /// Serialise all rows as a JSON array (hand-rolled: the workspace is
+    /// dependency-free, so there is no serde).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {{\"x\": {}, \"mean\": {}, \"median\": {}, \"max\": {}, \
+                     \"p95\": {}, \"success_rate\": {}, \"trials\": {}}}",
+                    json_f64(r.x),
+                    json_f64(r.mean),
+                    json_f64(r.median),
+                    json_f64(r.max),
+                    json_f64(r.p95),
+                    json_f64(r.success_rate),
+                    r.trials
+                )
+            })
+            .collect();
+        format!("[\n{}\n]\n", rows.join(",\n"))
+    }
+
     /// Render as an aligned table with the given grid-column name.
     pub fn to_table(&self, x_name: &str) -> Table {
         let mut t = Table::new(vec![
@@ -138,6 +160,16 @@ impl SweepResult {
             ]);
         }
         t
+    }
+}
+
+/// Format an `f64` as a JSON number (finite values only; non-finite maps
+/// to `null`).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -258,7 +290,9 @@ mod tests {
             stacked,
             &SweepOptions::new(2),
         );
-        let json = serde_json::to_string(&res).unwrap();
+        let json = res.to_json();
         assert!(json.contains("\"success_rate\""));
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
     }
 }

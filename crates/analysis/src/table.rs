@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn fmt_f64_ranges() {
         assert_eq!(fmt_f64(0.0), "0");
-        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(5.43219), "5.432");
         assert_eq!(fmt_f64(42.42), "42.4");
         assert_eq!(fmt_f64(12345.6), "12346");
     }

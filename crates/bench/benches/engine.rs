@@ -1,16 +1,61 @@
-//! Criterion benches for the simulation substrate itself: raw interaction
-//! throughput of the naive simulator vs the jump-chain simulator, RNG and
-//! Fenwick-tree primitives, and topology construction costs.
+//! Criterion benches for the simulation substrate itself: the three
+//! engines head-to-head (naive vs jump vs count), raw RNG and
+//! weighted-sampling primitives, and topology construction costs.
+//!
+//! Two engine comparisons are measured:
+//!
+//! * **throughput** — productive interactions per second on `A_G` far from
+//!   silence (stacked start, fixed productive budget). This isolates the
+//!   per-step cost model: naive pays per interaction, jump pays `O(log S)`
+//!   per productive interaction, count amortises whole batches.
+//! * **to-silence** — full stabilisation wall-clock at a size every engine
+//!   can finish. The count engine's advantage grows with `n`; the
+//!   recorded throughput numbers extrapolate it (productive steps on
+//!   `A_G` scale as `Θ(n²)`, so wall-clock ratios carry to larger `n`).
+//!
+//! Results are written to `BENCH_engines.json` by the criterion shim.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ssr_core::{GenericRanking, TreeRanking};
+use ssr_engine::engine::{make_engine, Engine, EngineKind};
 use ssr_engine::fenwick::Fenwick;
 use ssr_engine::rng::Xoshiro256;
-use ssr_engine::{JumpSimulation, Simulation};
+use ssr_engine::{CountSimulation, JumpSimulation, Simulation};
 use ssr_topology::{BalancedTree, CubicGraph};
 use std::hint::black_box;
 
-fn bench_naive_throughput(c: &mut Criterion) {
+/// Run any engine until at least `budget` productive interactions.
+fn run_productive(engine: &mut dyn Engine, budget: u64) -> u64 {
+    while engine.productive_interactions() < budget {
+        if engine.advance().is_none() {
+            break;
+        }
+    }
+    engine.productive_interactions()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    // Far-from-silence regime: stacked A_G at a size where the batched
+    // engine's multinomial splitting dominates.
+    let n = 65_536;
+    let p = GenericRanking::new(n);
+    let budget = 2_000_000u64;
+    let mut group = c.benchmark_group("engine_throughput_ag_n65536");
+    group.throughput(Throughput::Elements(budget));
+    group.sample_size(10);
+    for kind in [EngineKind::Jump, EngineKind::Count] {
+        group.bench_function(format!("{kind}_productive_2M"), |b| {
+            b.iter_batched(
+                || make_engine(kind, &p, vec![0; n], 7).unwrap(),
+                |mut engine| black_box(run_productive(engine.as_mut(), budget)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // The naive engine cannot touch n = 65536; measure its interaction
+    // throughput at its own scale for the record.
     let n = 1024;
     let p = GenericRanking::new(n);
     let mut group = c.benchmark_group("naive_simulator");
@@ -27,6 +72,62 @@ fn bench_naive_throughput(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         )
     });
+    group.finish();
+}
+
+fn bench_engines_to_silence(c: &mut Criterion) {
+    // Stabilisation wall-clock, all three engines, at a size the naive
+    // engine can still finish (A_G needs Θ(n³) raw interactions).
+    let n = 256;
+    let p = GenericRanking::new(n);
+    let mut group = c.benchmark_group("to_silence_ag_n256");
+    group.sample_size(10);
+    for kind in EngineKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut e = make_engine(kind, &p, vec![0; n], seed).unwrap();
+                black_box(e.run_until_silent(u64::MAX).unwrap().interactions)
+            })
+        });
+    }
+    group.finish();
+
+    // Jump vs count at a scale the naive engine cannot reach: the gap
+    // here is what makes the exp_scale decades tractable.
+    let n = 4096;
+    let p = GenericRanking::new(n);
+    let mut group = c.benchmark_group("to_silence_ag_n4096");
+    group.sample_size(10);
+    for kind in [EngineKind::Jump, EngineKind::Count] {
+        group.bench_function(kind.name(), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut e = make_engine(kind, &p, vec![0; n], seed).unwrap();
+                black_box(e.run_until_silent(u64::MAX).unwrap().interactions)
+            })
+        });
+    }
+    group.finish();
+
+    // The tree protocol (the paper's O(n log n) headliner) through the
+    // count engine at a size used by exp_scale.
+    let n = 65_536;
+    let p = TreeRanking::new(n);
+    let mut group = c.benchmark_group("to_silence_tree_n65536");
+    group.sample_size(10);
+    for kind in [EngineKind::Jump, EngineKind::Count] {
+        group.bench_function(kind.name(), |b| {
+            let mut seed = 100;
+            b.iter(|| {
+                seed += 1;
+                let mut e = make_engine(kind, &p, vec![0; n], seed).unwrap();
+                black_box(e.run_until_silent(u64::MAX).unwrap().interactions)
+            })
+        });
+    }
     group.finish();
 }
 
@@ -50,6 +151,37 @@ fn bench_jump_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_count_batching(c: &mut Criterion) {
+    // Batched vs exact stepping within the count engine itself: the same
+    // chain, with and without binomial-splitting batches.
+    let n = 65_536;
+    let p = GenericRanking::new(n);
+    let budget = 1_000_000u64;
+    let mut group = c.benchmark_group("count_batching_ag_n65536");
+    group.throughput(Throughput::Elements(budget));
+    group.sample_size(10);
+    for batching in [true, false] {
+        let label = if batching { "batched" } else { "exact" };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    CountSimulation::new(&p, vec![0; n], 7)
+                        .unwrap()
+                        .with_batching(batching)
+                },
+                |mut sim| {
+                    while sim.productive_interactions() < budget
+                        && sim.advance_chain().is_some()
+                    {}
+                    black_box(sim.productive_interactions())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn bench_primitives(c: &mut Criterion) {
     c.bench_function("rng_next_u64", |b| {
         let mut rng = Xoshiro256::seed_from_u64(1);
@@ -58,6 +190,10 @@ fn bench_primitives(c: &mut Criterion) {
     c.bench_function("rng_ordered_pair_n4096", |b| {
         let mut rng = Xoshiro256::seed_from_u64(2);
         b.iter(|| black_box(rng.ordered_pair(4096)))
+    });
+    c.bench_function("rng_binomial_large", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        b.iter(|| black_box(rng.binomial(1_000_000, 0.3)))
     });
     c.bench_function("fenwick_set_sample_4096", |b| {
         let mut f = Fenwick::new(4096);
@@ -88,8 +224,10 @@ fn bench_construction(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_naive_throughput,
+    bench_engine_throughput,
+    bench_engines_to_silence,
     bench_jump_throughput,
+    bench_count_batching,
     bench_primitives,
     bench_construction
 );

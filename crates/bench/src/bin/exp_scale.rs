@@ -1,48 +1,68 @@
 //! E3+ — large-scale confirmation of the `O(n log n)` tree protocol.
 //!
 //! The headline result (Theorem 3) is an asymptotic claim; the main E3
-//! grid stops at `n = 16384`. The exact jump-chain simulator only pays
-//! for *productive* interactions — `O(n log n)` of them for the tree
-//! protocol — so the law can be checked across two more decades of `n`.
-//! This experiment pushes to `n = 262144` (quick mode: `n = 16384`) and
-//! fits both the raw exponent (should hover just above 1) and the
-//! log-corrected model `T ≈ c·n·log n`.
+//! grid stops at `n = 16384`. The count-based batched engine pays
+//! amortised sub-interaction cost far from silence and `O(log #states)`
+//! only per *productive* interaction otherwise — `O(n log n)` of them for
+//! the tree protocol — so the law can now be checked across **four** more
+//! decades of `n`, up to `n = 2²⁴ ≈ 1.7·10⁷` (quick mode stops at
+//! `n = 16384`). The smallest grid point is cross-checked against the
+//! exact jump engine; both the raw exponent (should hover just above 1)
+//! and the log-corrected model `T ≈ c·n·log n` are fitted.
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_scale`
 
 use ssr_analysis::{fit_power_law, fit_power_law_with_polylog, Summary, Table};
 use ssr_bench::{print_header, stacked_start, trials, uniform_start, verdict};
 use ssr_core::TreeRanking;
-use ssr_engine::{JumpSimulation, Protocol};
+use ssr_engine::engine::{make_engine, EngineKind};
+use ssr_engine::Protocol;
 
 fn main() {
     print_header(
-        "E3+: tree protocol at scale",
-        "Theorem 3's O(n log n) holds across two further decades of n",
+        "E3+: tree protocol at scale (count engine)",
+        "Theorem 3's O(n log n) holds across four further decades of n",
     );
     let t = trials(8);
     let ns: Vec<f64> = if ssr_bench::quick() {
         vec![1024.0, 4096.0, 16384.0]
     } else {
-        vec![4096.0, 16384.0, 65536.0, 262144.0]
+        vec![
+            16384.0,
+            65536.0,
+            262144.0,
+            1_048_576.0,
+            4_194_304.0,
+            16_777_216.0,
+        ]
     };
 
     let mut table = Table::new(vec![
         "n".into(),
         "x (extra)".into(),
+        "trials".into(),
         "stacked median".into(),
         "uniform median".into(),
         "median / (n·log₂n) ×10³".into(),
+        "wall-clock/trial".into(),
     ]);
     let mut meds = Vec::new();
     for &nf in &ns {
         let n = nf as usize;
+        // Construction and per-trial cost both grow with n; thin the trial
+        // count at the top of the grid so the full run stays tractable.
+        let t_here = if n > 1 << 20 { 2 } else { t };
         let p = TreeRanking::new(n);
-        let run = |mk: &dyn Fn(&TreeRanking, u64) -> Vec<u32>, base: u64| -> f64 {
-            let times: Vec<f64> = (0..t as u64)
+        let mut wall = std::time::Duration::ZERO;
+        let mut run = |mk: &dyn Fn(&TreeRanking, u64) -> Vec<u32>, base: u64| -> f64 {
+            let times: Vec<f64> = (0..t_here as u64)
                 .map(|s| {
-                    let mut sim = JumpSimulation::new(&p, mk(&p, base + s), base + s).unwrap();
-                    sim.run_until_silent(u64::MAX).unwrap().parallel_time
+                    let start = std::time::Instant::now();
+                    let mut sim =
+                        make_engine(EngineKind::Count, &p, mk(&p, base + s), base + s).unwrap();
+                    let rep = sim.run_until_silent(u64::MAX).unwrap();
+                    wall += start.elapsed();
+                    rep.parallel_time
                 })
                 .collect();
             Summary::of(&times).median
@@ -51,15 +71,43 @@ fn main() {
         let uniform = run(&uniform_start, 62_000);
         meds.push(uniform);
         let norm = uniform / (nf * nf.log2()) * 1e3;
+        let per_trial = wall / (2 * t_here as u32);
         table.add_row(vec![
             n.to_string(),
             p.num_extra_states().to_string(),
+            t_here.to_string(),
             format!("{stacked:.0}"),
             format!("{uniform:.0}"),
             format!("{norm:.2}"),
+            format!("{:.2?}", per_trial),
         ]);
     }
     print!("{}", table.render());
+
+    // Cross-check: on the smallest grid point the jump and count engines
+    // must report statistically indistinguishable medians.
+    {
+        let n = ns[0] as usize;
+        let p = TreeRanking::new(n);
+        let sample = |kind: EngineKind| -> f64 {
+            let times: Vec<f64> = (0..t as u64)
+                .map(|s| {
+                    let mut sim =
+                        make_engine(kind, &p, uniform_start(&p, 63_000 + s), 63_000 + s)
+                            .unwrap();
+                    sim.run_until_silent(u64::MAX).unwrap().parallel_time
+                })
+                .collect();
+            Summary::of(&times).median
+        };
+        let jump = sample(EngineKind::Jump);
+        let count = sample(EngineKind::Count);
+        let rel = (jump - count).abs() / jump;
+        println!(
+            "engine cross-check at n = {n}: jump median {jump:.0}, \
+             count median {count:.0} (rel diff {rel:.3})"
+        );
+    }
 
     let fit = fit_power_law(&ns, &meds);
     let fit_log = fit_power_law_with_polylog(&ns, &meds, 1.0);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ssr run    --protocol tree --n 1000 [--start uniform|stacked|k-distant]
-//!            [--k 5] [--seed 7] [--naive] [--max 1000000000]
+//!            [--k 5] [--seed 7] [--engine naive|jump|count] [--max 1000000000]
 //! ssr sweep  --protocol line --ns 72,324,960 [--trials 10] [--seed 0]
 //! ssr elect  --protocol ring --n 100 [--k 5] [--seed 7]
 //! ssr exact  --protocol generic --n 5 [--limit 200000] [--trials 20000]
@@ -20,7 +20,7 @@ use ssr_analysis::Summary;
 use ssr_core::{elect_leader, GenericRanking, LineOfTraps, RingOfTraps, TreeRanking};
 use ssr_engine::init::{self, DuplicatePlacement};
 use ssr_engine::rng::Xoshiro256;
-use ssr_engine::{JumpSimulation, ProductiveClasses, Protocol, Simulation, State};
+use ssr_engine::{make_engine, EngineKind, JumpSimulation, ProductiveClasses, Protocol, State};
 
 /// The four protocols behind one object-safe handle.
 fn make_protocol(kind: &str, n: usize) -> Result<Box<dyn ProductiveClasses + Sync>, String> {
@@ -59,25 +59,30 @@ fn make_start(
     }
 }
 
+/// Engine selection: `--engine naive|jump|count`, with the legacy
+/// `--naive <anything>` flag kept as an alias for `--engine naive`.
+fn engine_kind(a: &Args) -> Result<EngineKind, String> {
+    if a.has("naive") {
+        return Ok(EngineKind::Naive);
+    }
+    EngineKind::parse(&a.str_or("engine", "jump"))
+}
+
 fn cmd_run(a: &Args) -> Result<(), String> {
     let n = a.usize_or("n", 100)?;
     let p = make_protocol(&a.str_or("protocol", "tree"), n)?;
     let seed = a.u64_or("seed", 1)?;
     let max = a.u64_or("max", u64::MAX)?;
+    let kind = engine_kind(a)?;
     let start = make_start(p.as_ref(), &a.str_or("start", "uniform"), a.usize_or("k", 1)?, seed)?;
     println!(
-        "{}: n = {n}, {} states ({} extra), seed {seed}",
+        "{}: n = {n}, {} states ({} extra), seed {seed}, engine {kind}",
         p.name(),
         p.num_states(),
         p.num_extra_states()
     );
-    let report = if a.has("naive") {
-        let mut sim = Simulation::new(p.as_ref(), start, seed).map_err(|e| e.to_string())?;
-        sim.run_until_silent(max).map_err(|e| e.to_string())?
-    } else {
-        let mut sim = JumpSimulation::new(p.as_ref(), start, seed).map_err(|e| e.to_string())?;
-        sim.run_until_silent(max).map_err(|e| e.to_string())?
-    };
+    let mut sim = make_engine(kind, p.as_ref(), start, seed).map_err(|e| e.to_string())?;
+    let report = sim.run_until_silent(max).map_err(|e| e.to_string())?;
     println!(
         "silent after {} interactions (parallel time {:.1}); {} productive",
         report.interactions, report.parallel_time, report.productive_interactions
@@ -234,7 +239,9 @@ fn help() {
 commands:
   run    --protocol generic|ring|line|tree --n N
          [--start uniform|stacked|perfect|k-distant] [--k K]
-         [--seed S] [--max M] [--naive]        simulate one run to silence
+         [--seed S] [--max M] [--engine naive|jump|count]
+                                               simulate one run to silence
+                                               (count scales to n = 10⁷+)
   sweep  --protocol P --ns 64,128,256 [--trials T] [--seed S]
                                                time-vs-n table + power fit
   elect  --protocol P --n N [--start ...] [--k K] [--seed S]
@@ -248,6 +255,32 @@ commands:
   info   --protocol P --n N                    state-space summary
   help                                         this text"
     );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        help();
+        return;
+    }
+    let result = Args::parse(argv).and_then(|a| match a.command.as_str() {
+        "run" => cmd_run(&a),
+        "sweep" => cmd_sweep(&a),
+        "elect" => cmd_elect(&a),
+        "exact" => cmd_exact(&a),
+        "check" => cmd_check(&a),
+        "faults" => cmd_faults(&a),
+        "info" => cmd_info(&a),
+        "help" | "--help" => {
+            help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `ssr help`)")),
+    });
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    }
 }
 
 #[cfg(test)]
@@ -285,30 +318,30 @@ mod tests {
         let cfg = make_start(p.as_ref(), "k-distant", 5, 1).unwrap();
         assert_eq!(ssr_engine::init::distance(&cfg, 24), 5);
     }
-}
 
-fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.is_empty() {
-        help();
-        return;
-    }
-    let result = Args::parse(argv).and_then(|a| match a.command.as_str() {
-        "run" => cmd_run(&a),
-        "sweep" => cmd_sweep(&a),
-        "elect" => cmd_elect(&a),
-        "exact" => cmd_exact(&a),
-        "check" => cmd_check(&a),
-        "faults" => cmd_faults(&a),
-        "info" => cmd_info(&a),
-        "help" | "--help" => {
-            help();
-            Ok(())
+    #[test]
+    fn engine_flag_parses_all_kinds_and_legacy_alias() {
+        let args = |v: &[&str]| Args::parse(v.iter().map(|s| s.to_string())).unwrap();
+        for kind in ["naive", "jump", "count"] {
+            let a = args(&["run", "--engine", kind]);
+            assert_eq!(engine_kind(&a).unwrap().name(), kind);
         }
-        other => Err(format!("unknown command '{other}' (try `ssr help`)")),
-    });
-    if let Err(msg) = result {
-        eprintln!("error: {msg}");
-        std::process::exit(2);
+        assert_eq!(engine_kind(&args(&["run"])).unwrap(), EngineKind::Jump);
+        let legacy = args(&["run", "--naive", "true"]);
+        assert_eq!(engine_kind(&legacy).unwrap(), EngineKind::Naive);
+        assert!(engine_kind(&args(&["run", "--engine", "warp"])).is_err());
+    }
+
+    #[test]
+    fn every_engine_drives_every_protocol_through_the_factory() {
+        for proto in ["generic", "ring", "line", "tree"] {
+            let p = make_protocol(proto, 12).unwrap();
+            for kind in EngineKind::ALL {
+                let start = make_start(p.as_ref(), "stacked", 0, 3).unwrap();
+                let mut e = make_engine(kind, p.as_ref(), start, 3).unwrap();
+                e.run_until_silent(u64::MAX).unwrap();
+                assert!(e.is_silent(), "{proto}/{kind}");
+            }
+        }
     }
 }

@@ -1,0 +1,1170 @@
+//! Count-based batched simulation: `O(#states)` memory, amortised
+//! sub-interaction stepping.
+//!
+//! Every protocol in this workspace is *anonymous*: the transition function
+//! sees states, never agent identities, so the Markov chain is fully
+//! determined by the per-state occupancy vector. [`CountSimulation`]
+//! exploits this twice:
+//!
+//! 1. **Exact mode** — the same embedded jump chain as
+//!    [`JumpSimulation`](crate::jump::JumpSimulation): sample a productive
+//!    ordered state pair proportionally to its weight, apply the rewrite to
+//!    the counts, and account for the skipped null interactions with a
+//!    geometric draw. Given the same seed, the exact mode consumes the RNG
+//!    draw-for-draw identically to the jump simulator and therefore walks
+//!    the *identical* trajectory (the cross-engine test suite asserts
+//!    this).
+//! 2. **Batch mode** — far from silence, consecutive productive steps are
+//!    *statistically exchangeable*: with per-state weights `w_s = c_s(c_s −
+//!    1)`, a batch of `B` steps splits across states as a multinomial.
+//!    The batch is drawn in `O(occupied · log #states)` total — not `O(B)`
+//!    — by recursive **binomial splitting** down a complete binary weight
+//!    tree (the classic trick from batched population-protocol simulation,
+//!    cf. Berenbrink et al.), and all `B` null gaps are accounted at once
+//!    with a single negative-binomial draw. Weights are frozen for the
+//!    duration of one batch; the batch size is capped at
+//!    `W / (8·c_max)` so no state's weight can drift by more than ~25%
+//!    within a batch, which keeps the stabilisation-time distribution
+//!    statistically indistinguishable from the exact chain (KS-tested in
+//!    `tests/cross_simulator.rs`).
+//!
+//! Batch mode engages only while **all** productive weight lies in
+//! equal-rank pairs (`A_G` and the ring protocol always; the line/tree
+//! protocols whenever no agent occupies an extra state) and the safe batch
+//! size is large enough to pay for itself; otherwise the engine falls back
+//! to exact stepping for that step. Correctness near silence is therefore
+//! always the exact jump chain.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_engine::count::CountSimulation;
+//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//!
+//! struct Ag { n: usize }
+//! impl Protocol for Ag {
+//!     fn name(&self) -> &str { "A_G" }
+//!     fn population_size(&self) -> usize { self.n }
+//!     fn num_states(&self) -> usize { self.n }
+//!     fn num_rank_states(&self) -> usize { self.n }
+//!     fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+//!         (i == r).then(|| (i, (r + 1) % self.n as State))
+//!     }
+//! }
+//! impl ProductiveClasses for Ag {}
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = Ag { n: 10_000 };
+//! let mut sim = CountSimulation::new(&p, vec![0; 10_000], 42)?;
+//! let report = sim.run_until_silent(u64::MAX)?;
+//! assert!(sim.is_silent());
+//! assert!(report.productive_interactions >= 9_999);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::CountObserver;
+use crate::error::{ConfigError, StabilisationTimeout};
+use crate::fenwick::Fenwick;
+use crate::init;
+use crate::protocol::{ExtraRankCross, ProductiveClasses, State};
+use crate::rng::Xoshiro256;
+use crate::sim::StabilisationReport;
+
+/// Below this safe batch size, batching cannot pay for its overhead and
+/// the engine steps exactly.
+const MIN_BATCH: u64 = 64;
+
+/// After the safe batch size drops below [`MIN_BATCH`], stay in exact
+/// mode for this many steps before re-checking — the productive weight
+/// changes by O(c_max) per step, so eligibility cannot swing back
+/// instantly, and checking per step would tax the exact hot loop.
+const EXACT_RECHECK_INTERVAL: u32 = 32;
+
+/// At or below this many remaining draws, [`WeightTree::split`] switches
+/// from binomial splitting to direct weighted descends (cheaper in RNG
+/// draws, identical in distribution).
+const SPLIT_DIRECT_THRESHOLD: u64 = 8;
+
+/// Re-derive the exact maximum productive occupancy every this many
+/// batches (between refreshes the tracked bound is a safe over-estimate).
+const MAX_REFRESH_INTERVAL: u32 = 32;
+
+/// Complete binary weight tree over `u64` weights: `O(log n)` point
+/// updates, `O(1)` totals, `O(log n)` weighted sampling, and — the reason
+/// it exists next to [`Fenwick`] — recursive multinomial **splitting** of a
+/// batch over all weighted slots in `O(occupied)` binomial draws.
+///
+/// `sample` maps a target offset to the slot containing it in prefix-sum
+/// order, exactly like [`Fenwick::sample`], so the two structures are
+/// interchangeable draw-for-draw.
+#[derive(Debug, Clone)]
+pub struct WeightTree {
+    /// Number of leaves (padded to a power of two).
+    size: usize,
+    /// Logical slot count.
+    len: usize,
+    /// 1-based heap layout; `tree[1]` is the root, leaves start at `size`.
+    tree: Vec<u64>,
+}
+
+impl WeightTree {
+    /// Tree of `len` zero weights.
+    pub fn new(len: usize) -> Self {
+        let size = len.next_power_of_two().max(1);
+        WeightTree {
+            size,
+            len,
+            tree: vec![0; 2 * size],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current weight at `index`.
+    #[inline]
+    pub fn weight(&self, index: usize) -> u64 {
+        self.tree[self.size + index]
+    }
+
+    /// Sum of all weights.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.tree[1]
+    }
+
+    /// Set the weight at `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: u64) {
+        assert!(index < self.len, "weight index out of range");
+        let mut node = self.size + index;
+        let old = self.tree[node];
+        if old == value {
+            return;
+        }
+        // Delta propagation: one read-modify-write per ancestor.
+        if value >= old {
+            let delta = value - old;
+            while node >= 1 {
+                self.tree[node] += delta;
+                node >>= 1;
+            }
+        } else {
+            let delta = old - value;
+            while node >= 1 {
+                self.tree[node] -= delta;
+                node >>= 1;
+            }
+        }
+    }
+
+    /// Slot containing offset `target` when weights are laid end to end
+    /// (identical mapping to [`Fenwick::sample`]).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `target >= total()`.
+    #[inline]
+    pub fn sample(&self, mut target: u64) -> usize {
+        debug_assert!(target < self.total(), "sample target out of range");
+        let mut node = 1usize;
+        while node < self.size {
+            let left = 2 * node;
+            if self.tree[left] > target {
+                node = left;
+            } else {
+                target -= self.tree[left];
+                node = left + 1;
+            }
+        }
+        node - self.size
+    }
+
+    /// Split a batch of `b` weighted draws across all slots: appends
+    /// `(slot, k_slot)` pairs with `Σ k_slot == b`, distributed
+    /// multinomially with probabilities proportional to slot weights.
+    ///
+    /// Implemented by recursive binomial splitting at each tree node, so
+    /// the cost is `O(occupied)` binomial draws rather than `O(b)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `b > 0` with zero total weight.
+    pub fn split(&self, b: u64, rng: &mut Xoshiro256, out: &mut Vec<(usize, u64)>) {
+        if b == 0 {
+            return;
+        }
+        debug_assert!(self.total() > 0, "cannot split over zero weight");
+        self.split_rec(1, b, rng, out);
+    }
+
+    fn split_rec(&self, node: usize, b: u64, rng: &mut Xoshiro256, out: &mut Vec<(usize, u64)>) {
+        if b == 0 {
+            return;
+        }
+        if node >= self.size {
+            out.push((node - self.size, b));
+            return;
+        }
+        if b <= SPLIT_DIRECT_THRESHOLD {
+            // Few draws left in this subtree: b direct weighted descends
+            // (one RNG draw each) beat a binomial per level. Identical in
+            // distribution — both are the multinomial over leaf weights.
+            let total = self.tree[node];
+            for _ in 0..b {
+                let mut target = rng.below(total);
+                let mut pos = node;
+                while pos < self.size {
+                    let left = 2 * pos;
+                    if self.tree[left] > target {
+                        pos = left;
+                    } else {
+                        target -= self.tree[left];
+                        pos = left + 1;
+                    }
+                }
+                let leaf = pos - self.size;
+                // Runs of the same leaf are coalesced opportunistically;
+                // duplicates across runs are harmless to the caller.
+                match out.last_mut() {
+                    Some((last, k)) if *last == leaf => *k += 1,
+                    _ => out.push((leaf, 1)),
+                }
+            }
+            return;
+        }
+        let left = 2 * node;
+        let wl = self.tree[left];
+        let wr = self.tree[left + 1];
+        let kl = if wr == 0 {
+            b
+        } else if wl == 0 {
+            0
+        } else {
+            rng.binomial(b, wl as f64 / (wl + wr) as f64)
+        };
+        self.split_rec(left, kl, rng, out);
+        self.split_rec(left + 1, b - kl, rng, out);
+    }
+}
+
+/// One coalesced group of identical rewrites applied by a batch step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BatchGroup {
+    before: (State, State),
+    after: (State, State),
+    applied: u64,
+}
+
+/// Count-based simulation with far-from-silence batching.
+///
+/// Memory is `O(#states)` — there is no agent vector — so populations of
+/// `n = 10⁷…10⁹` fit comfortably as long as the protocol's state space
+/// does.
+pub struct CountSimulation<'a, P: ProductiveClasses + ?Sized> {
+    protocol: &'a P,
+    counts: Vec<u32>,
+    /// Per-rank-state productive weight `c(c−1)` where an equal-rank rule
+    /// exists.
+    eq: WeightTree,
+    /// Per-rank-state occupancy (for cross-pair sampling in exact mode).
+    rank_occ: Fenwick,
+    has_eq: Vec<bool>,
+    num_ranks: usize,
+    rank_agents: u64,
+    extra_agents: u64,
+    cross: ExtraRankCross,
+    xx_all: bool,
+    interactions: u64,
+    productive: u64,
+    ordered_pairs: u64,
+    rng: Xoshiro256,
+    batching: bool,
+    /// Upper bound on the occupancy of any rank state with an equal-rank
+    /// rule; grows eagerly, shrinks on periodic refresh.
+    max_eq_count: u64,
+    batches_since_refresh: u32,
+    /// Exact steps to take before re-checking batch eligibility (0 =
+    /// check now); keeps the check off the exact-mode hot path.
+    exact_steps_until_recheck: u32,
+    split_scratch: Vec<(usize, u64)>,
+    group_scratch: Vec<BatchGroup>,
+}
+
+impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
+    /// Start from an explicit configuration, with batching enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on population or state-range mismatch.
+    pub fn new(protocol: &'a P, config: Vec<State>, seed: u64) -> Result<Self, ConfigError> {
+        let n = protocol.population_size();
+        if config.len() != n {
+            return Err(ConfigError::WrongPopulation {
+                expected: n,
+                got: config.len(),
+            });
+        }
+        init::validate(&config, protocol.num_states())?;
+        Self::from_counts(protocol, init::counts(&config, protocol.num_states()), seed)
+    }
+
+    /// Start from per-state occupancy counts (must sum to the population),
+    /// with batching enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::WrongPopulation`] if counts do not sum to
+    /// `n` or the counts vector length differs from the state-space size.
+    pub fn from_counts(
+        protocol: &'a P,
+        counts: Vec<u32>,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        let n = protocol.population_size();
+        if counts.len() != protocol.num_states() {
+            return Err(ConfigError::WrongPopulation {
+                expected: protocol.num_states(),
+                got: counts.len(),
+            });
+        }
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        if total != n as u64 {
+            return Err(ConfigError::WrongPopulation {
+                expected: n,
+                got: total as usize,
+            });
+        }
+        let num_ranks = protocol.num_rank_states();
+        let has_eq: Vec<bool> = (0..num_ranks)
+            .map(|s| protocol.has_equal_rank_rule(s as State))
+            .collect();
+        let mut eq = WeightTree::new(num_ranks);
+        let mut rank_occ = Fenwick::new(num_ranks);
+        let mut rank_agents = 0u64;
+        let mut max_eq_count = 1u64;
+        for s in 0..num_ranks {
+            let c = counts[s] as u64;
+            rank_agents += c;
+            rank_occ.set(s, c);
+            if has_eq[s] {
+                eq.set(s, c * c.saturating_sub(1));
+                max_eq_count = max_eq_count.max(c);
+            }
+        }
+        let extra_agents = n as u64 - rank_agents;
+        Ok(CountSimulation {
+            protocol,
+            counts,
+            eq,
+            rank_occ,
+            has_eq,
+            num_ranks,
+            rank_agents,
+            extra_agents,
+            cross: protocol.extra_rank_cross(),
+            xx_all: protocol.extra_extra_all(),
+            interactions: 0,
+            productive: 0,
+            ordered_pairs: (n as u64) * (n as u64).saturating_sub(1),
+            rng: Xoshiro256::seed_from_u64(seed),
+            batching: true,
+            max_eq_count,
+            batches_since_refresh: 0,
+            exact_steps_until_recheck: 0,
+            split_scratch: Vec::new(),
+            group_scratch: Vec::new(),
+        })
+    }
+
+    /// Enable or disable batch mode. With batching off the engine consumes
+    /// its RNG draw-for-draw identically to
+    /// [`JumpSimulation`](crate::jump::JumpSimulation) and reproduces the
+    /// exact same trajectory per seed.
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Whether batch mode is enabled.
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Current per-state occupancy counts.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total interactions simulated (nulls included, exact in
+    /// distribution).
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Productive interactions executed.
+    pub fn productive_interactions(&self) -> u64 {
+        self.productive
+    }
+
+    /// Parallel time elapsed: interactions / n.
+    pub fn parallel_time(&self) -> f64 {
+        self.interactions as f64 / self.protocol.population_size() as f64
+    }
+
+    /// Number of productive ordered pairs in the current configuration.
+    pub fn productive_pairs(&self) -> u64 {
+        self.eq.total() + self.xx_weight() + self.cross_weight()
+    }
+
+    /// Silent iff no ordered pair is productive.
+    pub fn is_silent(&self) -> bool {
+        self.productive_pairs() == 0
+    }
+
+    #[inline]
+    fn xx_weight(&self) -> u64 {
+        if self.xx_all {
+            self.extra_agents * self.extra_agents.saturating_sub(1)
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn cross_weight(&self) -> u64 {
+        match self.cross {
+            ExtraRankCross::None => 0,
+            ExtraRankCross::RankInitiatorOnly => self.rank_agents * self.extra_agents,
+            ExtraRankCross::Symmetric => 2 * self.rank_agents * self.extra_agents,
+        }
+    }
+
+    #[inline]
+    fn update_count(&mut self, s: State, delta: i64) {
+        let su = s as usize;
+        let c = (self.counts[su] as i64 + delta) as u32;
+        self.counts[su] = c;
+        if su < self.num_ranks {
+            self.rank_agents = (self.rank_agents as i64 + delta) as u64;
+            self.rank_occ.set(su, c as u64);
+            if self.has_eq[su] {
+                let c = c as u64;
+                self.eq.set(su, c * c.saturating_sub(1));
+                if c > self.max_eq_count {
+                    self.max_eq_count = c;
+                }
+            }
+        } else {
+            self.extra_agents = (self.extra_agents as i64 + delta) as u64;
+        }
+    }
+
+    /// Execute one productive interaction (plus the geometric number of
+    /// preceding nulls), exactly as the jump simulator would — the
+    /// sampling logic is literally shared (`pairsample`), so identical
+    /// RNG consumption and identical trajectories per seed are structural.
+    /// Returns the ordered state pair rewritten, or `None` if the
+    /// configuration is silent.
+    pub fn step_productive(&mut self) -> Option<((State, State), (State, State))> {
+        let w = self.productive_pairs();
+        if w == 0 {
+            return None;
+        }
+        debug_assert!(w <= self.ordered_pairs);
+        let p = w as f64 / self.ordered_pairs as f64;
+        self.interactions += self.rng.geometric(p) + 1;
+        self.productive += 1;
+
+        let classes = crate::pairsample::PairClasses {
+            counts: &self.counts,
+            num_ranks: self.num_ranks,
+            rank_agents: self.rank_agents,
+            extra_agents: self.extra_agents,
+            cross: self.cross,
+            xx_all: self.xx_all,
+        };
+        let (si, sr) =
+            crate::pairsample::sample_pair(&classes, &self.eq, &self.rank_occ, &mut self.rng);
+
+        let (si2, sr2) = self.protocol.transition(si, sr).unwrap_or_else(|| {
+            panic!(
+                "ProductiveClasses declared ({si},{sr}) productive but \
+                 transition returned None (protocol contract violation)"
+            )
+        });
+        debug_assert!(si2 != si || sr2 != sr, "identity rewrite for ({si},{sr})");
+        if si != si2 {
+            self.update_count(si, -1);
+            self.update_count(si2, 1);
+        }
+        if sr != sr2 {
+            self.update_count(sr, -1);
+            self.update_count(sr2, 1);
+        }
+        Some(((si, sr), (si2, sr2)))
+    }
+
+    /// The safe batch size for the current configuration, or `None` when
+    /// productive weight is not purely equal-rank or the safe size is too
+    /// small to pay for itself.
+    fn batch_size(&mut self) -> Option<u64> {
+        let w = self.eq.total();
+        if w == 0 || self.xx_weight() != 0 || self.cross_weight() != 0 {
+            return None;
+        }
+        if self.batches_since_refresh >= MAX_REFRESH_INTERVAL {
+            self.refresh_max_eq_count();
+        }
+        // Cap the expected per-state draw at (c_s − 1)/8: weights drift by
+        // at most ~25% within a batch and clipping is a tail event.
+        let b = w / (8 * self.max_eq_count.max(1));
+        if b >= MIN_BATCH {
+            return Some(b);
+        }
+        // The tracked bound only grows between refreshes, so a stale-high
+        // value could disable batching permanently. If a fresh bound could
+        // possibly change the verdict, refresh once before giving up
+        // (`batches_since_refresh > 0` caps this at one rescue scan per
+        // run of batches).
+        if self.batches_since_refresh > 0 && w / 8 >= MIN_BATCH {
+            self.refresh_max_eq_count();
+            let b = w / (8 * self.max_eq_count.max(1));
+            if b >= MIN_BATCH {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Decide the next quantum: `Some(b)` = batch of `b`, `None` = one
+    /// exact step. Shared by the observed and unobserved run loops so
+    /// both consume the RNG identically for a given seed.
+    fn decide_batch(&mut self) -> Option<u64> {
+        if !self.batching {
+            return None;
+        }
+        if self.exact_steps_until_recheck == 0 {
+            if let Some(b) = self.batch_size() {
+                return Some(b);
+            }
+            self.exact_steps_until_recheck = EXACT_RECHECK_INTERVAL;
+        }
+        self.exact_steps_until_recheck -= 1;
+        None
+    }
+
+    fn refresh_max_eq_count(&mut self) {
+        self.batches_since_refresh = 0;
+        let mut max = 1u64;
+        for s in 0..self.num_ranks {
+            if self.has_eq[s] {
+                max = max.max(self.counts[s] as u64);
+            }
+        }
+        self.max_eq_count = max;
+    }
+
+    /// Execute one batch of `b` statistically-exchangeable productive
+    /// steps with frozen weights. Returns the number actually applied
+    /// (≥ 1; per-state clipping can shave the tail).
+    fn step_batch(&mut self, b: u64) -> u64 {
+        let w = self.eq.total();
+        let p = w as f64 / self.ordered_pairs as f64;
+        self.batches_since_refresh += 1;
+
+        let mut split = std::mem::take(&mut self.split_scratch);
+        split.clear();
+        self.eq.split(b, &mut self.rng, &mut split);
+
+        let mut groups = std::mem::take(&mut self.group_scratch);
+        groups.clear();
+        let mut applied_total = 0u64;
+        for &(s, k) in &split {
+            let s = s as State;
+            let (a, b2) = self.protocol.transition(s, s).unwrap_or_else(|| {
+                panic!(
+                    "ProductiveClasses declared ({s},{s}) productive but \
+                     transition returned None (protocol contract violation)"
+                )
+            });
+            // The weights were frozen at batch start; clip the group so the
+            // state keeps enough agents for every applied interaction.
+            let c = self.counts[s as usize] as u64;
+            let slack = if a == s || b2 == s {
+                c.saturating_sub(1)
+            } else {
+                c / 2
+            };
+            let k = k.min(slack);
+            if k == 0 {
+                continue;
+            }
+            let kd = k as i64;
+            if a != s {
+                self.update_count(s, -kd);
+                self.update_count(a, kd);
+            }
+            if b2 != s {
+                self.update_count(s, -kd);
+                self.update_count(b2, kd);
+            }
+            applied_total += k;
+            groups.push(BatchGroup {
+                before: (s, s),
+                after: (a, b2),
+                applied: k,
+            });
+        }
+        debug_assert!(applied_total > 0, "batch applied nothing despite W > 0");
+        self.productive += applied_total;
+        self.interactions += applied_total + self.rng.neg_binomial(applied_total, p);
+
+        self.split_scratch = split;
+        self.group_scratch = groups;
+        applied_total
+    }
+
+    /// Advance the chain by one quantum: a whole batch when the
+    /// configuration is far from silence, one exact productive interaction
+    /// otherwise. Returns the number of productive interactions applied,
+    /// or `None` if silent.
+    pub fn advance_chain(&mut self) -> Option<u64> {
+        match self.decide_batch() {
+            Some(b) => Some(self.step_batch(b)),
+            None => self.step_productive().map(|_| 1),
+        }
+    }
+
+    /// Run until silent or until more than `max_interactions` have
+    /// elapsed. Semantics match the jump simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StabilisationTimeout`] when the cap is exceeded first.
+    pub fn run_until_silent(
+        &mut self,
+        max_interactions: u64,
+    ) -> Result<StabilisationReport, StabilisationTimeout> {
+        loop {
+            if self.is_silent() {
+                if self.interactions <= max_interactions {
+                    return Ok(StabilisationReport {
+                        interactions: self.interactions,
+                        productive_interactions: self.productive,
+                        parallel_time: self.parallel_time(),
+                    });
+                }
+                return Err(StabilisationTimeout {
+                    interactions: max_interactions,
+                });
+            }
+            if self.interactions >= max_interactions {
+                return Err(StabilisationTimeout {
+                    interactions: self.interactions,
+                });
+            }
+            self.advance_chain();
+        }
+    }
+
+    /// Like [`run_until_silent`](Self::run_until_silent), reporting every
+    /// productive rewrite to `observer`. Batched steps coalesce identical
+    /// rewrites into one call with their multiplicity; all groups of one
+    /// batch are reported with the same post-batch counts and clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StabilisationTimeout`] when the cap is exceeded first.
+    pub fn run_until_silent_observed(
+        &mut self,
+        max_interactions: u64,
+        observer: &mut dyn CountObserver,
+    ) -> Result<StabilisationReport, StabilisationTimeout> {
+        loop {
+            if self.is_silent() {
+                if self.interactions <= max_interactions {
+                    return Ok(StabilisationReport {
+                        interactions: self.interactions,
+                        productive_interactions: self.productive,
+                        parallel_time: self.parallel_time(),
+                    });
+                }
+                return Err(StabilisationTimeout {
+                    interactions: max_interactions,
+                });
+            }
+            if self.interactions >= max_interactions {
+                return Err(StabilisationTimeout {
+                    interactions: self.interactions,
+                });
+            }
+            match self.decide_batch() {
+                Some(b) => {
+                    self.step_batch(b);
+                    let groups = std::mem::take(&mut self.group_scratch);
+                    for g in &groups {
+                        observer.on_productive(
+                            self.interactions,
+                            g.before,
+                            g.after,
+                            g.applied,
+                            &self.counts,
+                        );
+                    }
+                    self.group_scratch = groups;
+                }
+                None => {
+                    if let Some((before, after)) = self.step_productive() {
+                        observer.on_productive(
+                            self.interactions,
+                            before,
+                            after,
+                            1,
+                            &self.counts,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move one agent from state `from` to state `to` (transient-fault
+    /// injection). All sampling weights are kept consistent; the
+    /// interaction clock is not advanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is unoccupied or either state id is out of range.
+    pub fn inject_fault(&mut self, from: State, to: State) {
+        assert!(
+            (from as usize) < self.counts.len() && (to as usize) < self.counts.len(),
+            "state out of range"
+        );
+        assert!(self.counts[from as usize] > 0, "state {from} is unoccupied");
+        if from == to {
+            return;
+        }
+        self.update_count(from, -1);
+        self.update_count(to, 1);
+    }
+
+    /// Consume the simulation and return the final occupancy counts.
+    pub fn into_counts(self) -> Vec<u32> {
+        self.counts
+    }
+
+    pub(crate) fn rng_clone(&self) -> Xoshiro256 {
+        self.rng.clone()
+    }
+
+    pub(crate) fn restore_parts(
+        &mut self,
+        counts: &[u32],
+        interactions: u64,
+        productive: u64,
+        rng: Xoshiro256,
+        ctl: Option<crate::engine::CountControl>,
+    ) {
+        let batching = self.batching;
+        let mut fresh = CountSimulation::from_counts(self.protocol, counts.to_vec(), 0)
+            .expect("snapshot counts do not match this protocol");
+        fresh.interactions = interactions;
+        fresh.productive = productive;
+        fresh.rng = rng;
+        fresh.batching = batching;
+        // Batch decisions depend on this control state; restoring it makes
+        // a same-engine restore replay the original trajectory exactly.
+        // Cross-engine snapshots carry none — the canonical state computed
+        // by `from_counts` is used instead.
+        if let Some(ctl) = ctl {
+            fresh.max_eq_count = ctl.max_eq_count;
+            fresh.batches_since_refresh = ctl.batches_since_refresh;
+            fresh.exact_steps_until_recheck = ctl.exact_steps_until_recheck;
+        }
+        *self = fresh;
+    }
+}
+
+impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for CountSimulation<'_, P> {
+    fn engine_name(&self) -> &'static str {
+        "count"
+    }
+
+    fn population_size(&self) -> usize {
+        self.protocol.population_size()
+    }
+
+    fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn productive_interactions(&self) -> u64 {
+        self.productive
+    }
+
+    fn is_silent(&self) -> bool {
+        CountSimulation::is_silent(self)
+    }
+
+    /// One batch far from silence (`Some(k)`), one exact productive
+    /// interaction otherwise (`Some(1)`), `None` when silent.
+    fn advance(&mut self) -> Option<u64> {
+        self.advance_chain()
+    }
+
+    fn run_until_silent(
+        &mut self,
+        max_interactions: u64,
+    ) -> Result<StabilisationReport, StabilisationTimeout> {
+        CountSimulation::run_until_silent(self, max_interactions)
+    }
+
+    fn run_until_silent_observed(
+        &mut self,
+        max_interactions: u64,
+        observer: &mut dyn crate::engine::CountObserver,
+    ) -> Result<StabilisationReport, StabilisationTimeout> {
+        CountSimulation::run_until_silent_observed(self, max_interactions, observer)
+    }
+
+    fn inject_state_fault(&mut self, from: State, to: State) {
+        CountSimulation::inject_fault(self, from, to);
+    }
+
+    fn snapshot(&self) -> crate::engine::EngineSnapshot {
+        crate::engine::EngineSnapshot {
+            agents: None,
+            counts: self.counts.clone(),
+            interactions: self.interactions,
+            productive: self.productive,
+            rng: self.rng_clone(),
+            count_ctl: Some(crate::engine::CountControl {
+                max_eq_count: self.max_eq_count,
+                batches_since_refresh: self.batches_since_refresh,
+                exact_steps_until_recheck: self.exact_steps_until_recheck,
+            }),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &crate::engine::EngineSnapshot) {
+        self.restore_parts(
+            &snapshot.counts,
+            snapshot.interactions,
+            snapshot.productive,
+            snapshot.rng.clone(),
+            snapshot.count_ctl,
+        );
+    }
+}
+
+impl<P: ProductiveClasses + ?Sized> std::fmt::Debug for CountSimulation<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountSimulation")
+            .field("protocol", &self.protocol.name())
+            .field("n", &self.protocol.population_size())
+            .field("interactions", &self.interactions)
+            .field("productive", &self.productive)
+            .field("batching", &self.batching)
+            .field("silent", &self.is_silent())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jump::JumpSimulation;
+    use crate::protocol::Protocol;
+
+    struct Ag {
+        n: usize,
+    }
+    impl Protocol for Ag {
+        fn name(&self) -> &str {
+            "A_G"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_rank_states(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            if i == r {
+                Some((i, (r + 1) % self.n as State))
+            } else {
+                None
+            }
+        }
+    }
+    impl ProductiveClasses for Ag {}
+
+    #[test]
+    fn weight_tree_matches_reference() {
+        let weights = [3u64, 0, 5, 1, 0, 0, 9, 2, 4, 0, 1];
+        let mut t = WeightTree::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            t.set(i, w);
+        }
+        assert_eq!(t.total(), weights.iter().sum::<u64>());
+        assert_eq!(t.weight(6), 9);
+        let mut offset = 0u64;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0 {
+                assert_eq!(t.sample(offset), i, "slot start {i}");
+                assert_eq!(t.sample(offset + w - 1), i, "slot end {i}");
+                offset += w;
+            }
+        }
+    }
+
+    #[test]
+    fn weight_tree_sample_agrees_with_fenwick() {
+        let mut t = WeightTree::new(37);
+        let mut f = Fenwick::new(37);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for i in 0..37 {
+            let w = rng.below(9);
+            t.set(i, w);
+            f.set(i, w);
+        }
+        assert_eq!(t.total(), f.total());
+        for target in 0..t.total() {
+            assert_eq!(t.sample(target), f.sample(target), "target {target}");
+        }
+    }
+
+    #[test]
+    fn weight_tree_split_conserves_and_tracks_weights() {
+        let mut t = WeightTree::new(16);
+        for (i, w) in [(0usize, 100u64), (3, 300), (7, 500), (15, 100)] {
+            t.set(i, w);
+        }
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut totals = [0u64; 16];
+        let b = 1000;
+        let rounds = 200;
+        for _ in 0..rounds {
+            let mut out = Vec::new();
+            t.split(b, &mut rng, &mut out);
+            assert_eq!(out.iter().map(|&(_, k)| k).sum::<u64>(), b);
+            for (i, k) in out {
+                assert!(t.weight(i) > 0, "slot {i} drawn with zero weight");
+                totals[i] += k;
+            }
+        }
+        // Expected proportions 0.1 / 0.3 / 0.5 / 0.1 within a few percent.
+        let grand = (b * rounds) as f64;
+        for (i, expect) in [(0usize, 0.1), (3, 0.3), (7, 0.5), (15, 0.1)] {
+            let got = totals[i] as f64 / grand;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "slot {i}: {got:.3} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_mode_is_trace_identical_to_jump() {
+        let p = Ag { n: 200 };
+        let mut jump = JumpSimulation::new(&p, vec![0; 200], 77).unwrap();
+        let mut count =
+            CountSimulation::new(&p, vec![0; 200], 77).unwrap().with_batching(false);
+        loop {
+            let j = jump.step_productive();
+            let c = count.step_productive();
+            assert_eq!(j, c);
+            assert_eq!(jump.interactions(), count.interactions());
+            assert_eq!(jump.counts(), count.counts());
+            if j.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn batched_run_reaches_perfect_ranking() {
+        let p = Ag { n: 4096 };
+        let mut sim = CountSimulation::new(&p, vec![0; 4096], 5).unwrap();
+        let rep = sim.run_until_silent(u64::MAX).unwrap();
+        assert!(sim.counts().iter().all(|&c| c == 1));
+        assert!(rep.productive_interactions >= 4095);
+        assert!(rep.interactions >= rep.productive_interactions);
+    }
+
+    #[test]
+    fn batching_engages_far_from_silence() {
+        let p = Ag { n: 4096 };
+        let mut sim = CountSimulation::new(&p, vec![0; 4096], 6).unwrap();
+        let applied = sim.advance_chain().unwrap();
+        assert!(
+            applied >= MIN_BATCH,
+            "stacked start must batch, applied {applied}"
+        );
+        // Batched and exact stepping agree on conservation throughout.
+        while sim.advance_chain().is_some() {
+            assert_eq!(sim.counts().iter().map(|&c| c as u64).sum::<u64>(), 4096);
+        }
+        assert!(sim.is_silent());
+    }
+
+    #[test]
+    fn batched_mean_time_matches_exact_chain() {
+        // The batched chain is an approximation of the exact chain far
+        // from silence; its stabilisation-time mean must track the exact
+        // simulator within a few percent.
+        let p = Ag { n: 256 };
+        let trials = 60u64;
+        let mean = |batching: bool| -> f64 {
+            (0..trials)
+                .map(|t| {
+                    let mut s = CountSimulation::new(&p, vec![0; 256], 9000 + t)
+                        .unwrap()
+                        .with_batching(batching);
+                    s.run_until_silent(u64::MAX).unwrap().interactions as f64
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let batched = mean(true);
+        let exact = mean(false);
+        let rel = (batched - exact).abs() / exact;
+        assert!(
+            rel < 0.1,
+            "batched mean {batched:.0} vs exact mean {exact:.0} ({rel:.3})"
+        );
+    }
+
+    #[test]
+    fn from_counts_validates_total() {
+        let p = Ag { n: 4 };
+        assert!(CountSimulation::from_counts(&p, vec![1, 1, 1, 0], 1).is_err());
+        assert!(CountSimulation::from_counts(&p, vec![4, 0, 0, 0], 1).is_ok());
+        assert!(CountSimulation::from_counts(&p, vec![4, 0, 0], 1).is_err());
+    }
+
+    #[test]
+    fn timeout_semantics_match_jump() {
+        let p = Ag { n: 64 };
+        let mut sim = CountSimulation::new(&p, vec![0; 64], 3).unwrap();
+        let err = sim.run_until_silent(2).unwrap_err();
+        assert!(err.interactions >= 2);
+    }
+
+    #[test]
+    fn fault_injection_reenables_stepping() {
+        let p = Ag { n: 32 };
+        let mut sim = CountSimulation::new(&p, (0..32).collect(), 11).unwrap();
+        assert!(sim.is_silent());
+        sim.inject_fault(3, 9);
+        assert!(!sim.is_silent());
+        sim.run_until_silent(u64::MAX).unwrap();
+        assert!(sim.counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn snapshot_restore_replays_exactly_while_batching() {
+        use crate::engine::Engine;
+        // n large enough that batch mode is active at snapshot time; the
+        // snapshot must carry the batch-scheduling state so the restored
+        // run replays the original continuation draw-for-draw.
+        let p = Ag { n: 4096 };
+        let mut sim = CountSimulation::new(&p, vec![0; 4096], 77).unwrap();
+        for _ in 0..5 {
+            sim.advance_chain();
+        }
+        let snap = Engine::snapshot(&sim);
+        let cont: Vec<(u64, u64)> = (0..40)
+            .map(|_| {
+                sim.advance_chain();
+                (sim.interactions(), sim.productive_interactions())
+            })
+            .collect();
+        let counts_a = sim.counts().to_vec();
+        Engine::restore(&mut sim, &snap);
+        let replay: Vec<(u64, u64)> = (0..40)
+            .map(|_| {
+                sim.advance_chain();
+                (sim.interactions(), sim.productive_interactions())
+            })
+            .collect();
+        assert_eq!(cont, replay, "restored run must replay the original");
+        assert_eq!(counts_a, sim.counts());
+    }
+
+    #[test]
+    fn observed_and_unobserved_runs_are_identical() {
+        use crate::engine::NullCountObserver;
+        // Both entry points must share the batch/exact decision schedule,
+        // otherwise the same seed yields different trajectories.
+        let p = Ag { n: 2048 };
+        let mut plain = CountSimulation::new(&p, vec![0; 2048], 13).unwrap();
+        let rp = plain.run_until_silent(u64::MAX).unwrap();
+        let mut observed = CountSimulation::new(&p, vec![0; 2048], 13).unwrap();
+        let ro = observed
+            .run_until_silent_observed(u64::MAX, &mut NullCountObserver)
+            .unwrap();
+        assert_eq!(rp.interactions, ro.interactions);
+        assert_eq!(rp.productive_interactions, ro.productive_interactions);
+        assert_eq!(plain.counts(), observed.counts());
+    }
+
+    #[test]
+    fn stale_max_count_bound_cannot_disable_batching_permanently() {
+        // Start stacked so max_eq_count is learned high, let the mass
+        // disperse, then verify batches keep firing once the true maximum
+        // has dropped (the rescue refresh in batch_size).
+        let p = Ag { n: 8192 };
+        let mut sim = CountSimulation::new(&p, vec![0; 8192], 3).unwrap();
+        let mut batched_quanta = 0u64;
+        let mut total_quanta = 0u64;
+        while let Some(applied) = sim.advance_chain() {
+            total_quanta += 1;
+            if applied > 1 {
+                batched_quanta += 1;
+            }
+            if total_quanta > 50_000_000 {
+                break;
+            }
+        }
+        assert!(sim.is_silent());
+        // Far from silence the overwhelming majority of productive work
+        // must happen in batches; without the rescue the stale stacked
+        // bound (8192) would throttle b below MIN_BATCH long before the
+        // weight support actually thins out.
+        assert!(
+            batched_quanta > 100,
+            "only {batched_quanta} of {total_quanta} quanta were batches"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_with_batching() {
+        let p = Ag { n: 512 };
+        let run = |seed| {
+            let mut s = CountSimulation::new(&p, vec![7; 512], seed).unwrap();
+            s.run_until_silent(u64::MAX).unwrap().interactions
+        };
+        assert_eq!(run(31), run(31));
+    }
+}

@@ -1,0 +1,477 @@
+//! The unified [`Engine`] abstraction over all simulators.
+//!
+//! Three engines simulate the *same* stochastic process — the paper's
+//! uniform random scheduler driving a population protocol — at three
+//! different cost models:
+//!
+//! | Engine | Memory | Cost per unit | Best regime |
+//! |--------|--------|---------------|-------------|
+//! | [`Simulation`](crate::sim::Simulation) (`naive`) | `O(n)` | one ordered-pair draw per *interaction*, nulls included | small `n`, per-agent observers, external schedulers |
+//! | [`JumpSimulation`](crate::jump::JumpSimulation) (`jump`) | `O(#states)` | `O(log #states)` per *productive* interaction | long runs near silence, `n` up to ~10⁵–10⁶ |
+//! | [`CountSimulation`](crate::count::CountSimulation) (`count`) | `O(#states)` | amortised sub-productive-interaction stepping via batching | `n = 10⁶…10⁹`, far-from-silent regimes |
+//!
+//! The trait is object-safe, so experiment drivers can select an engine at
+//! runtime (`--engine naive|jump|count` in the CLI) and treat all three
+//! uniformly: stepping, running to silence with a cap, count-level observer
+//! hooks, transient-fault injection, and snapshot/restore.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssr_engine::engine::Engine;
+//! use ssr_engine::count::CountSimulation;
+//! use ssr_engine::jump::JumpSimulation;
+//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//!
+//! struct Ag { n: usize }
+//! impl Protocol for Ag {
+//!     fn name(&self) -> &str { "A_G" }
+//!     fn population_size(&self) -> usize { self.n }
+//!     fn num_states(&self) -> usize { self.n }
+//!     fn num_rank_states(&self) -> usize { self.n }
+//!     fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+//!         (i == r).then(|| (i, (r + 1) % self.n as State))
+//!     }
+//! }
+//! impl ProductiveClasses for Ag {}
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = Ag { n: 64 };
+//! let mut engines: Vec<Box<dyn Engine>> = vec![
+//!     Box::new(JumpSimulation::new(&p, vec![0; 64], 7)?),
+//!     Box::new(CountSimulation::new(&p, vec![0; 64], 7)?),
+//! ];
+//! for e in &mut engines {
+//!     let report = Engine::run_until_silent(e.as_mut(), u64::MAX)?;
+//!     assert!(e.is_silent());
+//!     assert!(report.interactions >= report.productive_interactions);
+//! }
+//! // Same seed ⇒ the jump and count engines walk the identical chain.
+//! assert_eq!(engines[0].interactions(), engines[1].interactions());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::StabilisationTimeout;
+use crate::protocol::State;
+use crate::rng::Xoshiro256;
+use crate::sim::StabilisationReport;
+
+/// Observer hook at the granularity every engine can afford: occupancy
+/// *counts*, not agent identities.
+///
+/// The naive and jump engines invoke it once per productive interaction
+/// with `multiplicity == 1`, passing the post-transition counts. The
+/// count engine's batch mode coalesces a group of identical rewrites into
+/// a single call with the group size as `multiplicity`; all groups of one
+/// batch share the same post-**batch** counts and interaction clock
+/// (intermediate configurations inside a batch are not materialised).
+pub trait CountObserver {
+    /// Called after productive interaction(s) have been applied.
+    ///
+    /// `interactions` is the engine's total interaction clock (nulls
+    /// included) after the call's rewrites; `before`/`after` are the
+    /// rewritten ordered state pairs; `counts` the post-transition
+    /// occupancy.
+    fn on_productive(
+        &mut self,
+        interactions: u64,
+        before: (State, State),
+        after: (State, State),
+        multiplicity: u64,
+        counts: &[u32],
+    );
+}
+
+/// A [`CountObserver`] that ignores everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullCountObserver;
+
+impl CountObserver for NullCountObserver {
+    #[inline]
+    fn on_productive(
+        &mut self,
+        _interactions: u64,
+        _before: (State, State),
+        _after: (State, State),
+        _multiplicity: u64,
+        _counts: &[u32],
+    ) {
+    }
+}
+
+/// Adapts a closure into a [`CountObserver`].
+#[derive(Debug)]
+pub struct FnCountObserver<F>(pub F);
+
+impl<F: FnMut(u64, (State, State), (State, State), u64, &[u32])> CountObserver
+    for FnCountObserver<F>
+{
+    #[inline]
+    fn on_productive(
+        &mut self,
+        interactions: u64,
+        before: (State, State),
+        after: (State, State),
+        multiplicity: u64,
+        counts: &[u32],
+    ) {
+        (self.0)(interactions, before, after, multiplicity, counts)
+    }
+}
+
+/// Engine-agnostic point-in-time capture: configuration (as counts, plus
+/// the agent vector when the engine has one), clocks, and the RNG.
+///
+/// A snapshot taken from one engine can be restored into another of the
+/// same protocol: agents are anonymous, so the counts determine the
+/// configuration. Restoring into the *same* engine kind reproduces the
+/// exact trajectory (the RNG state travels with the snapshot); restoring
+/// across kinds continues the same configuration with that engine's
+/// stepping discipline.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    pub(crate) agents: Option<Vec<State>>,
+    pub(crate) counts: Vec<u32>,
+    pub(crate) interactions: u64,
+    pub(crate) productive: u64,
+    pub(crate) rng: Xoshiro256,
+    /// Count-engine batching control state; `None` for snapshots taken
+    /// from other engines (the count engine then restores canonical
+    /// control state derived from the counts).
+    pub(crate) count_ctl: Option<CountControl>,
+}
+
+/// The count engine's batch-scheduling state. Captured in snapshots so
+/// restoring into a count engine replays the exact trajectory even when
+/// batch mode is active (the batch-size decision depends on this state).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CountControl {
+    pub(crate) max_eq_count: u64,
+    pub(crate) batches_since_refresh: u32,
+    pub(crate) exact_steps_until_recheck: u32,
+}
+
+impl EngineSnapshot {
+    /// The captured per-state occupancy counts.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The captured agent vector, if the engine tracked one.
+    pub fn agents(&self) -> Option<&[State]> {
+        self.agents.as_deref()
+    }
+
+    /// The interaction clock at capture time.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// The productive-interaction clock at capture time.
+    pub fn productive_interactions(&self) -> u64 {
+        self.productive
+    }
+}
+
+/// A population-protocol simulator behind a uniform, object-safe handle.
+///
+/// All engines share silence semantics (silent ⇔ no ordered pair of agents
+/// is productive) and clock semantics (`interactions` counts *every*
+/// scheduler draw, nulls included, exactly — engines that skip nulls
+/// account for them stochastically but exactly in distribution).
+pub trait Engine {
+    /// Short engine identifier: `"naive"`, `"jump"` or `"count"`.
+    fn engine_name(&self) -> &'static str;
+
+    /// Population size `n`.
+    fn population_size(&self) -> usize;
+
+    /// Current per-state occupancy counts.
+    fn counts(&self) -> &[u32];
+
+    /// Total interactions simulated so far (nulls included).
+    fn interactions(&self) -> u64;
+
+    /// Productive interactions executed so far.
+    fn productive_interactions(&self) -> u64;
+
+    /// Whether the configuration is silent.
+    fn is_silent(&self) -> bool;
+
+    /// Advance the engine by its natural quantum and return the number of
+    /// productive interactions applied, or `None` if the configuration is
+    /// silent (nothing was executed).
+    ///
+    /// The quantum differs per engine: the naive engine executes one
+    /// scheduler draw (`Some(0)` for a null), the jump engine one
+    /// productive interaction plus its preceding nulls (`Some(1)`), and
+    /// the count engine either one productive interaction or — far from
+    /// silence — a whole batch (`Some(k)`).
+    fn advance(&mut self) -> Option<u64>;
+
+    /// Run until silent or until at least `max_interactions` have elapsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StabilisationTimeout`] when the cap is exceeded before a
+    /// silent configuration is reached.
+    fn run_until_silent(
+        &mut self,
+        max_interactions: u64,
+    ) -> Result<StabilisationReport, StabilisationTimeout>;
+
+    /// Like [`run_until_silent`](Engine::run_until_silent), invoking
+    /// `observer` on productive interactions (batched engines may coalesce
+    /// identical rewrites into one call with multiplicity > 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StabilisationTimeout`] when the cap is exceeded first.
+    fn run_until_silent_observed(
+        &mut self,
+        max_interactions: u64,
+        observer: &mut dyn CountObserver,
+    ) -> Result<StabilisationReport, StabilisationTimeout>;
+
+    /// Move one agent from state `from` to state `to` (transient-fault
+    /// injection). The interaction clock is not advanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is unoccupied or either state id is out of range.
+    fn inject_state_fault(&mut self, from: State, to: State);
+
+    /// Capture configuration, clocks and RNG.
+    fn snapshot(&self) -> EngineSnapshot;
+
+    /// Restore a snapshot previously taken from an engine of the same
+    /// protocol instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shape does not match this protocol.
+    fn restore(&mut self, snapshot: &EngineSnapshot);
+
+    /// Parallel time elapsed: interactions / n.
+    fn parallel_time(&self) -> f64 {
+        self.interactions() as f64 / self.population_size() as f64
+    }
+
+    /// Build the report for the current (silent) configuration.
+    fn report(&self) -> StabilisationReport {
+        StabilisationReport {
+            interactions: self.interactions(),
+            productive_interactions: self.productive_interactions(),
+            parallel_time: self.parallel_time(),
+        }
+    }
+}
+
+/// Which engine backs a run — the string form is accepted by the CLI and
+/// the trial runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Step-by-step simulation over an agent vector.
+    Naive,
+    /// Exact null-skipping jump chain over counts.
+    Jump,
+    /// Jump chain plus far-from-silence batching over counts.
+    Count,
+}
+
+impl EngineKind {
+    /// All kinds, in documentation order.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Naive, EngineKind::Jump, EngineKind::Count];
+
+    /// Parse `"naive"`, `"jump"` or `"count"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "naive" => Ok(EngineKind::Naive),
+            "jump" => Ok(EngineKind::Jump),
+            "count" => Ok(EngineKind::Count),
+            other => Err(format!(
+                "unknown engine '{other}' (expected naive|jump|count)"
+            )),
+        }
+    }
+
+    /// The canonical name (`parse` round-trips it).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Naive => "naive",
+            EngineKind::Jump => "jump",
+            EngineKind::Count => "count",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Build a boxed engine of the requested kind over a shared protocol.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the engine constructor.
+pub fn make_engine<'a, P>(
+    kind: EngineKind,
+    protocol: &'a P,
+    config: Vec<State>,
+    seed: u64,
+) -> Result<Box<dyn Engine + 'a>, crate::error::ConfigError>
+where
+    P: crate::protocol::ProductiveClasses + ?Sized + 'a,
+{
+    Ok(match kind {
+        EngineKind::Naive => Box::new(crate::sim::Simulation::new(protocol, config, seed)?),
+        EngineKind::Jump => Box::new(crate::jump::JumpSimulation::new(protocol, config, seed)?),
+        EngineKind::Count => {
+            Box::new(crate::count::CountSimulation::new(protocol, config, seed)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ProductiveClasses, Protocol};
+
+    struct Ag {
+        n: usize,
+    }
+    impl Protocol for Ag {
+        fn name(&self) -> &str {
+            "A_G"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_rank_states(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            if i == r {
+                Some((i, (r + 1) % self.n as State))
+            } else {
+                None
+            }
+        }
+    }
+    impl ProductiveClasses for Ag {}
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.name()).unwrap(), kind);
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert!(EngineKind::parse("warp").is_err());
+    }
+
+    #[test]
+    fn factory_builds_all_kinds_and_they_stabilise() {
+        let p = Ag { n: 24 };
+        for kind in EngineKind::ALL {
+            let mut e = make_engine(kind, &p, vec![0; 24], 9).unwrap();
+            assert_eq!(e.engine_name(), kind.name());
+            assert_eq!(e.population_size(), 24);
+            let rep = e.run_until_silent(u64::MAX).unwrap();
+            assert!(e.is_silent(), "{kind}");
+            assert!(e.counts().iter().all(|&c| c == 1), "{kind}");
+            assert!(rep.interactions >= rep.productive_interactions);
+            assert!(Engine::parallel_time(e.as_ref()) > 0.0);
+        }
+    }
+
+    #[test]
+    fn advance_semantics_per_engine() {
+        let p = Ag { n: 16 };
+        // Naive: every call executes exactly one interaction.
+        let mut naive = make_engine(EngineKind::Naive, &p, vec![0; 16], 3).unwrap();
+        let before = naive.interactions();
+        let quantum = naive.advance().unwrap();
+        assert!(quantum <= 1);
+        assert_eq!(naive.interactions(), before + 1);
+        // Jump: every call executes exactly one productive interaction.
+        let mut jump = make_engine(EngineKind::Jump, &p, vec![0; 16], 3).unwrap();
+        assert_eq!(jump.advance(), Some(1));
+        assert_eq!(jump.productive_interactions(), 1);
+        // Silent engines return None and never advance.
+        let mut silent = make_engine(EngineKind::Count, &p, (0..16).collect(), 3).unwrap();
+        assert_eq!(silent.advance(), None);
+        assert_eq!(silent.interactions(), 0);
+    }
+
+    #[test]
+    fn observers_see_all_productive_mass() {
+        let p = Ag { n: 12 };
+        for kind in EngineKind::ALL {
+            let mut e = make_engine(kind, &p, vec![0; 12], 5).unwrap();
+            let mut seen = 0u64;
+            let mut obs = FnCountObserver(|_i, _b, _a, mult, _c: &[u32]| seen += mult);
+            let rep = e.run_until_silent_observed(u64::MAX, &mut obs).unwrap();
+            let _ = obs;
+            assert_eq!(seen, rep.productive_interactions, "{kind}");
+        }
+    }
+
+    #[test]
+    fn fault_injection_and_recovery_through_the_trait() {
+        let p = Ag { n: 10 };
+        for kind in EngineKind::ALL {
+            let mut e = make_engine(kind, &p, (0..10).collect(), 7).unwrap();
+            assert!(e.is_silent());
+            e.inject_state_fault(0, 4);
+            assert!(!e.is_silent(), "{kind}");
+            e.run_until_silent(u64::MAX).unwrap();
+            assert!(e.counts().iter().all(|&c| c == 1), "{kind}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_replays_exactly_per_engine() {
+        let p = Ag { n: 12 };
+        for kind in EngineKind::ALL {
+            let mut e = make_engine(kind, &p, vec![0; 12], 11).unwrap();
+            for _ in 0..5 {
+                e.advance();
+            }
+            let snap = e.snapshot();
+            assert_eq!(snap.counts().iter().sum::<u32>(), 12);
+            let rep_a = e.run_until_silent(u64::MAX).unwrap();
+            let counts_a = e.counts().to_vec();
+            e.restore(&snap);
+            assert_eq!(e.interactions(), snap.interactions());
+            let rep_b = e.run_until_silent(u64::MAX).unwrap();
+            assert_eq!(rep_a.interactions, rep_b.interactions, "{kind}");
+            assert_eq!(counts_a, e.counts(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn cross_engine_snapshot_restore_continues_the_configuration() {
+        let p = Ag { n: 10 };
+        let mut jump = make_engine(EngineKind::Jump, &p, vec![0; 10], 13).unwrap();
+        jump.advance();
+        let snap = jump.snapshot();
+        // A count-only snapshot restores into the naive engine too (agents
+        // are reconstructed from counts; anonymity makes that equivalent).
+        let mut naive = make_engine(EngineKind::Naive, &p, vec![0; 10], 13).unwrap();
+        naive.restore(&snap);
+        assert_eq!(naive.counts(), snap.counts());
+        assert_eq!(naive.interactions(), snap.interactions());
+        naive.run_until_silent(u64::MAX).unwrap();
+        assert!(naive.is_silent());
+    }
+}

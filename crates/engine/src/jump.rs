@@ -227,30 +227,11 @@ impl<'a, P: ProductiveClasses + ?Sized> JumpSimulation<'a, P> {
         }
     }
 
-    /// Sample the `idx`-th extra **agent** (0-based over all agents in
-    /// extra states, grouped by state id) and return its state.
-    fn extra_state_at(&self, mut idx: u64, skip_one_of: Option<State>) -> State {
-        for s in self.num_ranks..self.counts.len() {
-            let mut c = self.counts[s] as u64;
-            if skip_one_of == Some(s as State) {
-                c -= 1;
-            }
-            if idx < c {
-                return s as State;
-            }
-            idx -= c;
-        }
-        unreachable!("extra agent index out of range");
-    }
-
     /// Execute one productive interaction (plus the geometric number of
     /// preceding nulls). Returns the ordered state pair rewritten, or
     /// `None` if the configuration is silent.
     pub fn step_productive(&mut self) -> Option<((State, State), (State, State))> {
-        let w_eq = self.eq.total();
-        let w_xx = self.xx_weight();
-        let w_cross = self.cross_weight();
-        let w = w_eq + w_xx + w_cross;
+        let w = self.productive_pairs();
         if w == 0 {
             return None;
         }
@@ -259,36 +240,16 @@ impl<'a, P: ProductiveClasses + ?Sized> JumpSimulation<'a, P> {
         self.interactions += self.rng.geometric(p) + 1;
         self.productive += 1;
 
-        let mut u = self.rng.below(w);
-        let (si, sr) = if u < w_eq {
-            let s = self.eq.sample(u) as State;
-            (s, s)
-        } else if u < w_eq + w_xx {
-            u -= w_eq;
-            let e = self.extra_agents;
-            let a = u / (e - 1);
-            let b = u % (e - 1);
-            let s1 = self.extra_state_at(a, None);
-            let s2 = self.extra_state_at(b, Some(s1));
-            (s1, s2)
-        } else {
-            u -= w_eq + w_xx;
-            let re = self.rank_agents * self.extra_agents;
-            let (extra_initiates, rem) = match self.cross {
-                ExtraRankCross::RankInitiatorOnly => (false, u),
-                ExtraRankCross::Symmetric => (u >= re, u % re),
-                ExtraRankCross::None => unreachable!(),
-            };
-            let rank_idx = rem / self.extra_agents;
-            let extra_idx = rem % self.extra_agents;
-            let rank_state = self.rank_occ.sample(rank_idx) as State;
-            let extra_state = self.extra_state_at(extra_idx, None);
-            if extra_initiates {
-                (extra_state, rank_state)
-            } else {
-                (rank_state, extra_state)
-            }
+        let classes = crate::pairsample::PairClasses {
+            counts: &self.counts,
+            num_ranks: self.num_ranks,
+            rank_agents: self.rank_agents,
+            extra_agents: self.extra_agents,
+            cross: self.cross,
+            xx_all: self.xx_all,
         };
+        let (si, sr) =
+            crate::pairsample::sample_pair(&classes, &self.eq, &self.rank_occ, &mut self.rng);
 
         let (si2, sr2) = self
             .protocol
@@ -368,6 +329,99 @@ impl<'a, P: ProductiveClasses + ?Sized> JumpSimulation<'a, P> {
     /// Consume the simulation and return the final occupancy counts.
     pub fn into_counts(self) -> Vec<u32> {
         self.counts
+    }
+}
+
+impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for JumpSimulation<'_, P> {
+    fn engine_name(&self) -> &'static str {
+        "jump"
+    }
+
+    fn population_size(&self) -> usize {
+        self.protocol.population_size()
+    }
+
+    fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn productive_interactions(&self) -> u64 {
+        self.productive
+    }
+
+    fn is_silent(&self) -> bool {
+        JumpSimulation::is_silent(self)
+    }
+
+    /// One productive interaction (plus its skipped nulls): always
+    /// `Some(1)` unless silent.
+    fn advance(&mut self) -> Option<u64> {
+        self.step_productive().map(|_| 1)
+    }
+
+    fn run_until_silent(
+        &mut self,
+        max_interactions: u64,
+    ) -> Result<StabilisationReport, StabilisationTimeout> {
+        JumpSimulation::run_until_silent(self, max_interactions)
+    }
+
+    fn run_until_silent_observed(
+        &mut self,
+        max_interactions: u64,
+        observer: &mut dyn crate::engine::CountObserver,
+    ) -> Result<StabilisationReport, StabilisationTimeout> {
+        loop {
+            if JumpSimulation::is_silent(self) {
+                if self.interactions <= max_interactions {
+                    return Ok(StabilisationReport {
+                        interactions: self.interactions,
+                        productive_interactions: self.productive,
+                        parallel_time: JumpSimulation::parallel_time(self),
+                    });
+                }
+                return Err(StabilisationTimeout {
+                    interactions: max_interactions,
+                });
+            }
+            if self.interactions >= max_interactions {
+                return Err(StabilisationTimeout {
+                    interactions: self.interactions,
+                });
+            }
+            if let Some((before, after)) = self.step_productive() {
+                observer.on_productive(self.interactions, before, after, 1, &self.counts);
+            }
+        }
+    }
+
+    fn inject_state_fault(&mut self, from: State, to: State) {
+        JumpSimulation::inject_fault(self, from, to);
+    }
+
+    fn snapshot(&self) -> crate::engine::EngineSnapshot {
+        crate::engine::EngineSnapshot {
+            agents: None,
+            counts: self.counts.clone(),
+            interactions: self.interactions,
+            productive: self.productive,
+            rng: self.rng.clone(),
+            count_ctl: None,
+        }
+    }
+
+    fn restore(&mut self, snapshot: &crate::engine::EngineSnapshot) {
+        let mut fresh =
+            JumpSimulation::from_counts(self.protocol, snapshot.counts.clone(), 0)
+                .expect("snapshot counts do not match this protocol");
+        fresh.interactions = snapshot.interactions;
+        fresh.productive = snapshot.productive;
+        fresh.rng = snapshot.rng.clone();
+        *self = fresh;
     }
 }
 

@@ -1,0 +1,132 @@
+//! Shared exact-mode productive-pair sampling for the jump and count
+//! engines.
+//!
+//! Both engines sample the next productive ordered state pair from the
+//! same decomposition (equal-rank weight + extra–extra weight + rank–extra
+//! cross weight) with the same RNG draw order. Keeping the sampling in one
+//! place makes the "jump and count are trace-identical per seed" guarantee
+//! structural instead of a convention two copies must uphold by hand.
+
+use crate::fenwick::Fenwick;
+use crate::protocol::{ExtraRankCross, State};
+use crate::rng::Xoshiro256;
+
+/// Weighted-index structures that can answer prefix-order sampling
+/// queries ([`Fenwick`] and [`crate::count::WeightTree`] are
+/// interchangeable draw-for-draw).
+pub(crate) trait EqWeights {
+    /// Sum of all weights.
+    fn eq_total(&self) -> u64;
+    /// Slot containing offset `target` in prefix-sum order.
+    fn eq_sample(&self, target: u64) -> usize;
+}
+
+impl EqWeights for Fenwick {
+    fn eq_total(&self) -> u64 {
+        self.total()
+    }
+    fn eq_sample(&self, target: u64) -> usize {
+        self.sample(target)
+    }
+}
+
+impl EqWeights for crate::count::WeightTree {
+    fn eq_total(&self) -> u64 {
+        self.total()
+    }
+    fn eq_sample(&self, target: u64) -> usize {
+        self.sample(target)
+    }
+}
+
+/// The configuration slices the sampler needs, borrowed from an engine.
+pub(crate) struct PairClasses<'a> {
+    pub counts: &'a [u32],
+    pub num_ranks: usize,
+    pub rank_agents: u64,
+    pub extra_agents: u64,
+    pub cross: ExtraRankCross,
+    pub xx_all: bool,
+}
+
+impl PairClasses<'_> {
+    /// Weight of all productive extra–extra ordered pairs.
+    #[inline]
+    pub(crate) fn xx_weight(&self) -> u64 {
+        if self.xx_all {
+            self.extra_agents * self.extra_agents.saturating_sub(1)
+        } else {
+            0
+        }
+    }
+
+    /// Weight of all productive rank–extra ordered pairs.
+    #[inline]
+    pub(crate) fn cross_weight(&self) -> u64 {
+        match self.cross {
+            ExtraRankCross::None => 0,
+            ExtraRankCross::RankInitiatorOnly => self.rank_agents * self.extra_agents,
+            ExtraRankCross::Symmetric => 2 * self.rank_agents * self.extra_agents,
+        }
+    }
+
+    /// Sample the `idx`-th extra agent (0-based over all agents in extra
+    /// states, grouped by state id) and return its state.
+    fn extra_state_at(&self, mut idx: u64, skip_one_of: Option<State>) -> State {
+        for s in self.num_ranks..self.counts.len() {
+            let mut c = self.counts[s] as u64;
+            if skip_one_of == Some(s as State) {
+                c -= 1;
+            }
+            if idx < c {
+                return s as State;
+            }
+            idx -= c;
+        }
+        unreachable!("extra agent index out of range");
+    }
+}
+
+/// Draw one productive ordered state pair with exactly one `below(w)` RNG
+/// draw, `w = w_eq + w_xx + w_cross` (which the caller has verified to be
+/// positive).
+pub(crate) fn sample_pair<W: EqWeights>(
+    classes: &PairClasses<'_>,
+    eq: &W,
+    rank_occ: &Fenwick,
+    rng: &mut Xoshiro256,
+) -> (State, State) {
+    let w_eq = eq.eq_total();
+    let w_xx = classes.xx_weight();
+    let w_cross = classes.cross_weight();
+    let mut u = rng.below(w_eq + w_xx + w_cross);
+    if u < w_eq {
+        let s = eq.eq_sample(u) as State;
+        (s, s)
+    } else if u < w_eq + w_xx {
+        u -= w_eq;
+        let e = classes.extra_agents;
+        let a = u / (e - 1);
+        let b = u % (e - 1);
+        let s1 = classes.extra_state_at(a, None);
+        let s2 = classes.extra_state_at(b, Some(s1));
+        (s1, s2)
+    } else {
+        u -= w_eq + w_xx;
+        let re = classes.rank_agents * classes.extra_agents;
+        let (extra_initiates, rem) = match classes.cross {
+            ExtraRankCross::RankInitiatorOnly => (false, u),
+            ExtraRankCross::Symmetric => (u >= re, u % re),
+            ExtraRankCross::None => unreachable!(),
+        };
+        let rank_idx = rem / classes.extra_agents;
+        let extra_idx = rem % classes.extra_agents;
+        let rank_state = rank_occ.sample(rank_idx) as State;
+        let extra_state = classes.extra_state_at(extra_idx, None);
+        if extra_initiates {
+            (extra_state, rank_state)
+        } else {
+            (rank_state, extra_state)
+        }
+    }
+}

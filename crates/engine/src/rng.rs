@@ -190,6 +190,118 @@ impl Xoshiro256 {
         }
     }
 
+    /// Standard normal variate (Marsaglia polar method).
+    ///
+    /// Used by the count-batched simulator's large-count approximations;
+    /// two uniforms are consumed per accepted pair and the spare deviate is
+    /// **not** cached, so the draw count stays a deterministic function of
+    /// the acceptance sequence.
+    #[inline]
+    pub fn gaussian(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.unit_f64() - 1.0;
+            let v = 2.0 * self.unit_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Poisson(λ) variate.
+    ///
+    /// Knuth's product method below λ = 30 (exact), a continuity-corrected
+    /// normal approximation above (relative error `O(1/√λ)`, negligible for
+    /// the batched simulator's gap accounting).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        debug_assert!(lambda >= 0.0 && lambda.is_finite());
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            let limit = (-lambda).exp();
+            let mut k = 0u64;
+            let mut product = self.unit_f64();
+            while product > limit {
+                k += 1;
+                product *= self.unit_f64();
+            }
+            k
+        } else {
+            let x = lambda + lambda.sqrt() * self.gaussian() + 0.5;
+            if x < 0.0 {
+                0
+            } else {
+                x as u64
+            }
+        }
+    }
+
+    /// Binomial(n, p) variate.
+    ///
+    /// Exact Bernoulli counting for small `n`, Poisson approximation in the
+    /// rare-event tails, and a clamped normal approximation in the central
+    /// regime. The result is always in `[0, n]`, so splitting a batch of
+    /// `n` events between two classes conserves the batch exactly.
+    pub fn binomial(&mut self, n: u64, p: f64) -> u64 {
+        debug_assert!((0.0..=1.0).contains(&p), "binomial p out of range");
+        if n == 0 || p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        // Symmetry: sample the rarer outcome for accuracy.
+        if p > 0.5 {
+            return n - self.binomial(n, 1.0 - p);
+        }
+        let nf = n as f64;
+        let mean = nf * p;
+        if n <= 64 {
+            return (0..n).filter(|_| self.unit_f64() < p).count() as u64;
+        }
+        if mean < 20.0 {
+            // Rare events: Binomial(n, p) ≈ Poisson(np).
+            return self.poisson(mean).min(n);
+        }
+        let sd = (mean * (1.0 - p)).sqrt();
+        let x = mean + sd * self.gaussian() + 0.5;
+        if x < 0.0 {
+            0
+        } else {
+            (x as u64).min(n)
+        }
+    }
+
+    /// Negative binomial: total number of failures accumulated before the
+    /// `k`-th success of a Bernoulli(`p`) process — i.e. the sum of `k`
+    /// independent [`geometric`](Self::geometric) variates.
+    ///
+    /// Exact geometric summation for small `k`, clamped normal
+    /// approximation (mean `k(1−p)/p`, variance `k(1−p)/p²`) for large `k`.
+    /// The batched simulator uses this to account for all null interactions
+    /// across a whole batch of productive steps in O(1).
+    pub fn neg_binomial(&mut self, k: u64, p: f64) -> u64 {
+        if k == 0 || p >= 1.0 {
+            return 0;
+        }
+        debug_assert!(p > 0.0, "neg_binomial requires p > 0");
+        if k <= 16 {
+            return (0..k).map(|_| self.geometric(p)).sum();
+        }
+        let kf = k as f64;
+        let mean = kf * (1.0 - p) / p;
+        let sd = (kf * (1.0 - p)).sqrt() / p;
+        let x = mean + sd * self.gaussian() + 0.5;
+        if x < 0.0 {
+            0
+        } else if x >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            x as u64
+        }
+    }
+
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
@@ -319,6 +431,79 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(17);
         assert_eq!(rng.geometric(1.0), 0);
         assert_eq!(rng.geometric(2.0), 0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let n = 100_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.gaussian();
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large_lambda() {
+        let mut rng = Xoshiro256::seed_from_u64(22);
+        for &lambda in &[0.5, 4.0, 25.0, 200.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05 + 0.05,
+                "λ={lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn binomial_mean_all_regimes() {
+        let mut rng = Xoshiro256::seed_from_u64(23);
+        // (n, p) covering exact, Poisson-tail, normal and symmetry paths.
+        for &(n, p) in &[(10u64, 0.3), (1000, 0.001), (1000, 0.4), (1000, 0.9)] {
+            let trials = 20_000;
+            let mut total = 0u64;
+            for _ in 0..trials {
+                let k = rng.binomial(n, p);
+                assert!(k <= n);
+                total += k;
+            }
+            let mean = total as f64 / trials as f64;
+            let expected = n as f64 * p;
+            assert!(
+                (mean - expected).abs() < (expected.max(1.0)) * 0.05 + 0.1,
+                "n={n} p={p}: mean {mean} vs {expected}"
+            );
+        }
+        assert_eq!(rng.binomial(100, 0.0), 0);
+        assert_eq!(rng.binomial(100, 1.0), 100);
+    }
+
+    #[test]
+    fn neg_binomial_mean_matches_geometric_sum() {
+        let mut rng = Xoshiro256::seed_from_u64(24);
+        for &(k, p) in &[(4u64, 0.2), (100, 0.05), (1000, 0.5)] {
+            let trials = 5_000;
+            let mean: f64 = (0..trials)
+                .map(|_| rng.neg_binomial(k, p) as f64)
+                .sum::<f64>()
+                / trials as f64;
+            let expected = k as f64 * (1.0 - p) / p;
+            assert!(
+                (mean - expected).abs() < expected * 0.08 + 0.5,
+                "k={k} p={p}: mean {mean} vs {expected}"
+            );
+        }
+        assert_eq!(rng.neg_binomial(0, 0.3), 0);
+        assert_eq!(rng.neg_binomial(5, 1.0), 0);
     }
 
     #[test]

@@ -154,6 +154,19 @@ pub enum Backend {
     Naive,
     /// Exact null-skipping jump chain (default for experiments).
     Jump,
+    /// Count-based batched engine (fastest at scale; batches
+    /// far-from-silence phases).
+    Count,
+}
+
+impl From<crate::engine::EngineKind> for Backend {
+    fn from(kind: crate::engine::EngineKind) -> Self {
+        match kind {
+            crate::engine::EngineKind::Naive => Backend::Naive,
+            crate::engine::EngineKind::Jump => Backend::Jump,
+            crate::engine::EngineKind::Count => Backend::Count,
+        }
+    }
 }
 
 /// Run `cfg.trials` independent trials of `protocol` using the jump-chain
@@ -199,7 +212,7 @@ where
         }
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let (tx, rx) = crossbeam::channel::unbounded();
+        let (tx, rx) = std::sync::mpsc::channel();
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let tx = tx.clone();
@@ -248,6 +261,11 @@ where
         }
         Backend::Naive => {
             let mut sim = Simulation::new(protocol, config, sim_seed)
+                .expect("make_config produced an invalid configuration");
+            sim.run_until_silent(cfg.max_interactions)
+        }
+        Backend::Count => {
+            let mut sim = crate::count::CountSimulation::new(protocol, config, sim_seed)
                 .expect("make_config produced an invalid configuration");
             sim.run_until_silent(cfg.max_interactions)
         }
@@ -321,6 +339,26 @@ mod tests {
         let cfg = TrialConfig::new(4).with_base_seed(3);
         let res = run_trials_backend(&p, |_s| vec![0; 8], &cfg, Backend::Naive);
         assert_eq!(res.success_rate(), 1.0);
+    }
+
+    #[test]
+    fn count_backend_matches_jump_exactly_per_trial() {
+        // Per-trial seeds are derived identically, and the count engine's
+        // exact mode walks the jump engine's chain — at n = 8 the batch
+        // threshold is never reached, so results are bit-identical.
+        let p = Ag { n: 8 };
+        let cfg = TrialConfig::new(6).with_base_seed(17);
+        let jump = run_trials_backend(&p, |_s| vec![0; 8], &cfg, Backend::Jump);
+        let count = run_trials_backend(&p, |_s| vec![0; 8], &cfg, Backend::Count);
+        assert_eq!(jump.interaction_counts(), count.interaction_counts());
+    }
+
+    #[test]
+    fn backend_from_engine_kind() {
+        use crate::engine::EngineKind;
+        assert_eq!(Backend::from(EngineKind::Naive), Backend::Naive);
+        assert_eq!(Backend::from(EngineKind::Jump), Backend::Jump);
+        assert_eq!(Backend::from(EngineKind::Count), Backend::Count);
     }
 
     #[test]

@@ -90,9 +90,16 @@ impl Scheduler for UniformScheduler {
 /// proportional to `1/(i+1)^θ`, independently for the initiator and the
 /// responder (rejecting equal picks). `θ = 0` recovers the uniform
 /// scheduler; larger `θ` concentrates interactions on low-index agents.
+///
+/// Draws use a Walker/Vose **alias table**: O(n) construction, O(1) per
+/// draw — the scheduler sits in the inner loop of every scheduled
+/// interaction, where the previous CDF binary search cost O(log n).
 #[derive(Debug, Clone)]
 pub struct ZipfScheduler {
-    cumulative: Vec<f64>,
+    /// Per-slot acceptance probability (Vose `prob` array).
+    prob: Vec<f64>,
+    /// Per-slot alias target when the acceptance test fails.
+    alias: Vec<u32>,
     theta: f64,
 }
 
@@ -105,25 +112,54 @@ impl ZipfScheduler {
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n >= 2, "need at least two agents");
         assert!(theta >= 0.0 && theta.is_finite(), "invalid skew exponent");
-        let mut cumulative = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for i in 0..n {
-            acc += 1.0 / ((i + 1) as f64).powf(theta);
-            cumulative.push(acc);
+        assert!(n <= u32::MAX as usize, "population too large for alias table");
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        // Vose's method: scale to mean 1, then pair each under-full slot
+        // with an over-full donor.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
         }
-        ZipfScheduler { cumulative, theta }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // The donor gives away (1 − prob[s]) of its mass.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers are full slots.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        ZipfScheduler { prob, alias, theta }
     }
 
+    #[inline]
     fn draw(&self, rng: &mut Xoshiro256) -> usize {
-        let total = *self.cumulative.last().expect("non-empty");
-        let x = rng.unit_f64() * total;
-        self.cumulative.partition_point(|&c| c <= x)
+        let i = rng.below_usize(self.prob.len());
+        if rng.unit_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
     }
 }
 
 impl Scheduler for ZipfScheduler {
     fn population(&self) -> usize {
-        self.cumulative.len()
+        self.prob.len()
     }
 
     fn next_pair(&mut self, rng: &mut Xoshiro256) -> (usize, usize) {
@@ -296,6 +332,30 @@ mod tests {
             assert!(
                 (c as f64 - expected).abs() < 0.05 * expected,
                 "agent {a}: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_alias_table_matches_exact_distribution() {
+        // The alias table must reproduce the w_i ∝ 1/(i+1)^θ marginals
+        // exactly (up to sampling noise), not just the ordering.
+        let n = 12;
+        let theta = 1.3;
+        let sched = ZipfScheduler::new(n, theta);
+        let mut r = rng();
+        let samples = 400_000;
+        let mut counts = vec![0u64; n];
+        for _ in 0..samples {
+            counts[sched.draw(&mut r)] += 1;
+        }
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = samples as f64 * weights[i] / total;
+            assert!(
+                (c as f64 - expected).abs() < 0.05 * expected + 50.0,
+                "agent {i}: {c} vs ~{expected:.0}"
             );
         }
     }

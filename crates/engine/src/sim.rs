@@ -59,6 +59,10 @@ pub struct Simulation<'a, P: Protocol + ?Sized> {
     protocol: &'a P,
     agents: Vec<State>,
     counts: Vec<u32>,
+    /// Cached `protocol.num_rank_states()` — `update_count` sits on the
+    /// hot path of every productive interaction and must not go through
+    /// the protocol vtable.
+    num_ranks: usize,
     /// Σ over rank states of max(c − 1, 0): agents beyond the first in a
     /// rank state.
     duplicate_rank_agents: u64,
@@ -96,6 +100,7 @@ impl<'a, P: Protocol + ?Sized> Simulation<'a, P> {
             protocol,
             agents: config,
             counts,
+            num_ranks,
             duplicate_rank_agents,
             extra_agents,
             interactions: 0,
@@ -166,7 +171,7 @@ impl<'a, P: Protocol + ?Sized> Simulation<'a, P> {
     #[inline]
     fn update_count(&mut self, s: State, delta: i64) {
         let su = s as usize;
-        let num_ranks = self.protocol.num_rank_states();
+        let num_ranks = self.num_ranks;
         let old = self.counts[su] as i64;
         let new = old + delta;
         debug_assert!(new >= 0);
@@ -390,6 +395,115 @@ impl<'a, P: Protocol + ?Sized> Simulation<'a, P> {
         self.counts.clone_from(&snapshot.counts);
         self.duplicate_rank_agents = snapshot.duplicate_rank_agents;
         self.extra_agents = snapshot.extra_agents;
+        self.interactions = snapshot.interactions;
+        self.productive = snapshot.productive;
+        self.rng = snapshot.rng.clone();
+    }
+}
+
+impl<P: Protocol + ?Sized> crate::engine::Engine for Simulation<'_, P> {
+    fn engine_name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn population_size(&self) -> usize {
+        self.protocol.population_size()
+    }
+
+    fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    fn productive_interactions(&self) -> u64 {
+        self.productive
+    }
+
+    fn is_silent(&self) -> bool {
+        Simulation::is_silent(self)
+    }
+
+    /// One scheduler draw: `Some(1)` if it was productive, `Some(0)` for a
+    /// null interaction, `None` when already silent.
+    fn advance(&mut self) -> Option<u64> {
+        if Simulation::is_silent(self) {
+            return None;
+        }
+        Some(u64::from(self.step().is_some()))
+    }
+
+    fn run_until_silent(
+        &mut self,
+        max_interactions: u64,
+    ) -> Result<StabilisationReport, StabilisationTimeout> {
+        Simulation::run_until_silent(self, max_interactions)
+    }
+
+    fn run_until_silent_observed(
+        &mut self,
+        max_interactions: u64,
+        observer: &mut dyn crate::engine::CountObserver,
+    ) -> Result<StabilisationReport, StabilisationTimeout> {
+        /// Bridges agent-level [`Observer`] events to count-level hooks.
+        struct Adapter<'o>(&'o mut dyn crate::engine::CountObserver);
+        impl Observer for Adapter<'_> {
+            fn on_transition(&mut self, step: u64, event: &TransitionEvent, counts: &[u32]) {
+                self.0
+                    .on_productive(step, event.before, event.after, 1, counts);
+            }
+        }
+        Simulation::run_until_silent_observed(self, max_interactions, &mut Adapter(observer))
+    }
+
+    fn inject_state_fault(&mut self, from: State, to: State) {
+        let agent = self
+            .agents
+            .iter()
+            .position(|&s| s == from)
+            .unwrap_or_else(|| panic!("state {from} is unoccupied"));
+        Simulation::inject_fault(self, agent, to);
+    }
+
+    fn snapshot(&self) -> crate::engine::EngineSnapshot {
+        crate::engine::EngineSnapshot {
+            agents: Some(self.agents.clone()),
+            counts: self.counts.clone(),
+            interactions: self.interactions,
+            productive: self.productive,
+            rng: self.rng.clone(),
+            count_ctl: None,
+        }
+    }
+
+    fn restore(&mut self, snapshot: &crate::engine::EngineSnapshot) {
+        // Count-only snapshots (from the jump/count engines) reconstruct an
+        // agent vector from counts; agents are anonymous, so the resulting
+        // process is the same.
+        let agents = snapshot
+            .agents
+            .clone()
+            .unwrap_or_else(|| init::from_counts(&snapshot.counts));
+        assert_eq!(
+            agents.len(),
+            self.protocol.population_size(),
+            "snapshot population mismatch"
+        );
+        assert_eq!(
+            snapshot.counts.len(),
+            self.protocol.num_states(),
+            "snapshot state-space mismatch"
+        );
+        let num_ranks = self.num_ranks;
+        self.agents = agents;
+        self.counts.clone_from(&snapshot.counts);
+        self.duplicate_rank_agents = self.counts[..num_ranks]
+            .iter()
+            .map(|&c| (c as u64).saturating_sub(1))
+            .sum();
+        self.extra_agents = self.counts[num_ranks..].iter().map(|&c| c as u64).sum();
         self.interactions = snapshot.interactions;
         self.productive = snapshot.productive;
         self.rng = snapshot.rng.clone();

@@ -26,17 +26,17 @@ proptest! {
         }
         prop_assert_eq!(f.total(), reference.iter().sum::<u64>());
         let mut acc = 0;
-        for i in 0..len {
-            acc += reference[i];
+        for (i, &w) in reference.iter().enumerate() {
+            acc += w;
             prop_assert_eq!(f.prefix_sum(i), acc, "prefix at {}", i);
         }
         // Every weighted slot is hit by sampling its range boundaries.
         let mut offset = 0u64;
-        for i in 0..len {
-            if reference[i] > 0 {
+        for (i, &w) in reference.iter().enumerate() {
+            if w > 0 {
                 prop_assert_eq!(f.sample(offset), i);
-                prop_assert_eq!(f.sample(offset + reference[i] - 1), i);
-                offset += reference[i];
+                prop_assert_eq!(f.sample(offset + w - 1), i);
+                offset += w;
             }
         }
     }

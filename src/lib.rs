@@ -13,8 +13,11 @@
 //!
 //! This crate re-exports the whole workspace:
 //!
-//! * [`engine`] — the population-protocol model: naive and exact jump-chain
-//!   simulators, configuration generators, parallel trial runner;
+//! * [`engine`] — the population-protocol model behind the unified
+//!   [`Engine`](engine::Engine) trait: the naive per-agent simulator, the
+//!   exact jump-chain simulator, and the count-based batched simulator
+//!   (O(#states) memory, scales to populations of 10⁷+); configuration
+//!   generators; parallel trial runner;
 //! * [`topology`] — perfectly balanced binary trees, the cubic routing
 //!   graph `G`, trap layouts;
 //! * [`protocols`] — the four protocols: `Θ(n²)` baseline `A_G`,
@@ -66,9 +69,10 @@ pub mod prelude {
         TreeRanking, LEADER_RANK,
     };
     pub use ssr_engine::{
-        init, recovery_after_faults, rng::Xoshiro256, run_trials, ClusteredScheduler,
-        JumpSimulation, ProductiveClasses, Protocol, Scheduler, Simulation, State,
-        TrialConfig, UniformScheduler, ZipfScheduler,
+        init, make_engine, recovery_after_faults, rng::Xoshiro256, run_trials,
+        ClusteredScheduler, CountSimulation, Engine, EngineKind, JumpSimulation,
+        ProductiveClasses, Protocol, Scheduler, Simulation, State, TrialConfig,
+        UniformScheduler, ZipfScheduler,
     };
     pub use ssr_topology::{BalancedTree, CubicGraph, TrapChain};
 }

@@ -1,6 +1,8 @@
-//! The naive and jump-chain simulators realise the same Markov chain:
-//! identical silence semantics and statistically indistinguishable
-//! stabilisation-time distributions.
+//! The naive, jump-chain and count-batched simulators realise the same
+//! Markov chain: identical silence semantics and statistically
+//! indistinguishable stabilisation-time distributions (pairwise KS tests
+//! across all three engines), plus bit-identical jump↔count trajectories
+//! per seed when batching is off.
 
 use ssr::prelude::*;
 
@@ -110,6 +112,102 @@ fn both_simulators_reach_the_same_silent_support() {
         b.run_until_silent(u64::MAX).unwrap();
         let counts_a = init::counts(a.agents(), p.num_states());
         assert_eq!(counts_a, b.counts(), "silent support must be unique");
+    }
+}
+
+/// Same seed ⇒ the count engine (exact mode) and the jump engine walk the
+/// *identical* chain on `A_G`: same productive counts, same interaction
+/// clock, same final configuration — not merely the same distribution.
+#[test]
+fn count_and_jump_are_trace_identical_on_ag() {
+    let n = 300;
+    let p = GenericRanking::new(n);
+    for seed in [1u64, 42, 9000] {
+        let mut jump = JumpSimulation::new(&p, vec![0; n], seed).unwrap();
+        let mut count = CountSimulation::new(&p, vec![0; n], seed)
+            .unwrap()
+            .with_batching(false);
+        let rj = jump.run_until_silent(u64::MAX).unwrap();
+        let rc = count.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(
+            rj.productive_interactions, rc.productive_interactions,
+            "seed {seed}: productive counts must be identical"
+        );
+        assert_eq!(rj.interactions, rc.interactions, "seed {seed}");
+        assert_eq!(jump.counts(), count.counts(), "seed {seed}");
+    }
+}
+
+/// Batch mode is an approximation only of *which* exchangeable step fires
+/// first; the stabilisation-time distribution must be indistinguishable.
+/// KS at n = 1000 over 200 trials per engine, stacked start (the regime
+/// where batching does the most work).
+#[test]
+fn count_vs_jump_ks_test_at_n1000() {
+    let n = 1000;
+    let p = GenericRanking::new(n);
+    let trials = 200u64;
+    let sample = |kind: EngineKind, seed0: u64| -> Vec<f64> {
+        (0..trials)
+            .map(|t| {
+                let mut e = make_engine(kind, &p, vec![0; n], seed0 + t).unwrap();
+                e.run_until_silent(u64::MAX).unwrap().interactions as f64
+            })
+            .collect()
+    };
+    let jump = sample(EngineKind::Jump, 40_000);
+    let count = sample(EngineKind::Count, 50_000);
+    let r = ssr::analysis::ks::ks_two_sample(&jump, &count);
+    assert!(
+        r.p_value > 0.01,
+        "KS rejected jump vs count: D = {:.4}, p = {:.5}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+/// Closing the triangle (naive↔jump is tested above): naive vs count at a
+/// size the naive engine can afford.
+#[test]
+fn count_vs_naive_ks_test() {
+    let p = GenericRanking::new(14);
+    let trials = 400u64;
+    let sample = |kind: EngineKind, seed0: u64| -> Vec<f64> {
+        (0..trials)
+            .map(|t| {
+                let mut e = make_engine(kind, &p, vec![0u32; 14], seed0 + t).unwrap();
+                e.run_until_silent(u64::MAX).unwrap().interactions as f64
+            })
+            .collect()
+    };
+    let naive = sample(EngineKind::Naive, 60_000);
+    let count = sample(EngineKind::Count, 70_000);
+    let r = ssr::analysis::ks::ks_two_sample(&naive, &count);
+    assert!(
+        r.p_value > 0.001,
+        "KS rejected naive vs count: D = {:.4}, p = {:.5}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+/// All engines agree on the unique silent support from a common start.
+#[test]
+fn all_three_engines_reach_the_same_silent_support() {
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    for n in [10usize, 20] {
+        let p = TreeRanking::new(n);
+        let cfg = init::uniform_random(n, p.num_states(), &mut rng);
+        let counts: Vec<Vec<u32>> = EngineKind::ALL
+            .iter()
+            .map(|&kind| {
+                let mut e = make_engine(kind, &p, cfg.clone(), 31).unwrap();
+                e.run_until_silent(u64::MAX).unwrap();
+                e.counts().to_vec()
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1], "n = {n}");
+        assert_eq!(counts[1], counts[2], "n = {n}");
     }
 }
 

@@ -1,0 +1,357 @@
+//! Vendored, dependency-free shim of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API used by this workspace.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. The shim keeps the API the benches use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `iter`, `iter_batched`,
+//! `Throughput`, `BatchSize`) and implements honest — if statistically
+//! simpler — wall-clock measurement:
+//!
+//! * each benchmark is warmed up, then timed over `sample_size` samples
+//!   whose iteration counts are auto-calibrated to ≥ ~5 ms per sample;
+//! * results print as `name  time/iter [min .. max]  (throughput)`;
+//! * on exit, all results are written as `BENCH_<target>.json` next to the
+//!   current working directory (override the path with `SSR_BENCH_JSON`).
+//!
+//! There is no outlier analysis and no HTML report; numbers are means over
+//! samples, suitable for the coarse engine-vs-engine comparisons recorded
+//! in the repo.
+
+#![allow(dead_code)]
+
+use std::time::{Duration, Instant};
+
+/// Per-sample iteration-count hinting (ignored beyond setup amortisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many iterations per setup.
+    SmallInput,
+    /// Large inputs: one iteration per setup.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Work-per-iteration declaration, used to derive throughput numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// `n` abstract elements processed per iteration.
+    Elements(u64),
+    /// `n` bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Elements (or bytes) per iteration, if declared.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    fn elements_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                Some(n as f64 / (self.mean_ns * 1e-9))
+            }
+            None => None,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let tp = match self.elements_per_sec() {
+            Some(eps) => format!(", \"elements_per_sec\": {eps:.1}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}{}}}",
+            self.id, self.mean_ns, self.min_ns, self.max_ns, self.samples,
+            self.iters_per_sample, tp
+        )
+    }
+}
+
+/// Top-level benchmark driver; collects results and writes the JSON summary.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Fresh driver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = name.into();
+        let sample_size = self.default_sample_size;
+        let result = run_benchmark(&id, None, sample_size, &mut f);
+        report(&result);
+        self.results.push(result);
+        self
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Write the JSON summary. Called automatically by [`criterion_main!`].
+    pub fn finalize(&self) {
+        let path = std::env::var("SSR_BENCH_JSON").unwrap_or_else(|_| {
+            let stem = std::env::args()
+                .next()
+                .and_then(|p| {
+                    std::path::Path::new(&p)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                })
+                .unwrap_or_else(|| "bench".into());
+            // Cargo appends `-<hash>` to bench executables; strip it.
+            let stem = match stem.rsplit_once('-') {
+                Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+                    base.to_string()
+                }
+                _ => stem,
+            };
+            format!("BENCH_{stem}.json")
+        });
+        let body: Vec<String> = self.results.iter().map(|r| format!("  {}", r.to_json())).collect();
+        let json = format!("[\n{}\n]\n", body.join(",\n"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("criterion shim: could not write {path}: {e}");
+        } else {
+            println!("\nbench summary written to {path}");
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare work-per-iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmark a function within this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let result = run_benchmark(&id, self.throughput, sample_size, &mut f);
+        report(&result);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Close the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; runs the measurement loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` invocations of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `iters` invocations of `routine`, excluding per-input `setup`.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    f: &mut impl FnMut(&mut Bencher),
+) -> BenchResult {
+    // Calibrate: one iteration to estimate cost, aiming at ≥ ~5 ms/sample,
+    // capped so a whole benchmark stays under ~2 s of measurement.
+    let mut bench = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+    let est_ns = bench.elapsed.as_nanos().max(1) as f64;
+    let iters = ((5e6 / est_ns).ceil() as u64).clamp(1, 10_000_000);
+    let budget_ns = 2e9;
+    let samples = sample_size
+        .min((budget_ns / (est_ns * iters as f64)).ceil() as usize)
+        .max(2);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bench = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bench);
+        per_iter.push(bench.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min_ns = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_ns = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    BenchResult {
+        id: id.to_string(),
+        mean_ns,
+        min_ns,
+        max_ns,
+        samples,
+        iters_per_sample: iters,
+        throughput,
+    }
+}
+
+fn report(r: &BenchResult) {
+    let human = |ns: f64| -> String {
+        if ns < 1e3 {
+            format!("{ns:.1} ns")
+        } else if ns < 1e6 {
+            format!("{:.2} µs", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:.2} ms", ns / 1e6)
+        } else {
+            format!("{:.2} s", ns / 1e9)
+        }
+    };
+    let tp = match r.elements_per_sec() {
+        Some(eps) if eps >= 1e6 => format!("  ({:.2} Melem/s)", eps / 1e6),
+        Some(eps) => format!("  ({eps:.0} elem/s)"),
+        None => String::new(),
+    };
+    println!(
+        "{:<48} {:>12}/iter  [{} .. {}]{}",
+        r.id,
+        human(r.mean_ns),
+        human(r.min_ns),
+        human(r.max_ns),
+        tp
+    );
+}
+
+/// Re-export for call sites that import it from criterion.
+pub use std::hint::black_box;
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the listed groups and writes the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results()[0].id.starts_with("g/"));
+        assert!(c.results()[0].mean_ns >= 0.0);
+        assert!(c.results()[0].to_json().contains("elements_per_sec"));
+    }
+}
