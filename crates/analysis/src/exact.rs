@@ -267,7 +267,7 @@ mod tests {
     use ssr_core::tree::TreeRanking;
     use ssr_engine::JumpSimulation;
 
-    fn simulated_mean<P: ssr_engine::ProductiveClasses>(
+    fn simulated_mean<P: ssr_engine::InteractionSchema>(
         p: &P,
         start: &[State],
         trials: u64,

@@ -25,8 +25,9 @@
 use crate::regression::{fit_power_law, PowerLawFit};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
-use ssr_engine::protocol::{ProductiveClasses, State};
-use ssr_engine::runner::{run_trials, TrialConfig};
+use ssr_engine::protocol::{InteractionSchema, State};
+use ssr_engine::runner::{Init, Scenario};
+use ssr_engine::EngineKind;
 
 /// Options for a sweep.
 #[derive(Debug, Clone)]
@@ -39,6 +40,9 @@ pub struct SweepOptions {
     pub max_interactions: u64,
     /// Worker threads (0 = auto).
     pub threads: usize,
+    /// Engine per grid point (`Auto` = count at large `n`, jump below, so
+    /// heterogeneous grids get the right engine at every point).
+    pub engine: EngineKind,
 }
 
 impl SweepOptions {
@@ -49,7 +53,14 @@ impl SweepOptions {
             base_seed: 0,
             max_interactions: u64::MAX,
             threads: 0,
+            engine: EngineKind::Auto,
         }
+    }
+
+    /// Select the engine backing every grid point.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Set the base seed.
@@ -186,18 +197,22 @@ pub fn sweep<P, FP, FC>(
     opts: &SweepOptions,
 ) -> SweepResult
 where
-    P: ProductiveClasses + Sync,
+    P: InteractionSchema + Sync,
     FP: Fn(f64) -> P,
     FC: Fn(&P, u64) -> Vec<State> + Sync,
 {
     let mut rows = Vec::with_capacity(grid.len());
     for (i, &x) in grid.iter().enumerate() {
         let protocol = make_protocol(x);
-        let cfg = TrialConfig::new(opts.trials)
-            .with_base_seed(opts.base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9))
-            .with_max_interactions(opts.max_interactions)
-            .with_threads(opts.threads);
-        let results = run_trials(&protocol, |seed| make_config(&protocol, seed), &cfg);
+        let make = |seed| make_config(&protocol, seed);
+        let results = Scenario::new(&protocol)
+            .engine(opts.engine)
+            .init(Init::Custom(&make))
+            .trials(opts.trials)
+            .base_seed(opts.base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9))
+            .max_interactions(opts.max_interactions)
+            .threads(opts.threads)
+            .run();
         let times = results.parallel_times();
         let (mean, median, max, p95) = if times.is_empty() {
             (0.0, 0.0, 0.0, 0.0)

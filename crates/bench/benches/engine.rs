@@ -20,7 +20,7 @@ use ssr_core::{GenericRanking, TreeRanking};
 use ssr_engine::engine::{make_engine, Engine, EngineKind};
 use ssr_engine::fenwick::Fenwick;
 use ssr_engine::rng::Xoshiro256;
-use ssr_engine::{CountSimulation, JumpSimulation, Simulation};
+use ssr_engine::{CountSimulation, JumpSimulation, Protocol, Simulation};
 use ssr_topology::{BalancedTree, CubicGraph};
 use std::hint::black_box;
 
@@ -47,6 +47,32 @@ fn bench_engine_throughput(c: &mut Criterion) {
         group.bench_function(format!("{kind}_productive_2M"), |b| {
             b.iter_batched(
                 || make_engine(kind, &p, vec![0; n], 7).unwrap(),
+                |mut engine| black_box(run_productive(engine.as_mut(), budget)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // The tree protocol from a uniform start spends ~90% of its
+    // productive steps in the extra–extra and rank–extra classes — the
+    // regime the generalised per-class batching covers. This is the entry
+    // the nightly regression gate watches for batching-coverage
+    // regressions.
+    let n = 65_536;
+    let p = TreeRanking::new(n);
+    let budget = 2_000_000u64;
+    let mut group = c.benchmark_group("engine_throughput_tree_uniform_n65536");
+    group.throughput(Throughput::Elements(budget));
+    group.sample_size(10);
+    for kind in [EngineKind::Jump, EngineKind::Count] {
+        group.bench_function(format!("{kind}_productive_2M"), |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = Xoshiro256::seed_from_u64(11);
+                    let cfg = ssr_engine::init::uniform_random(n, p.num_states(), &mut rng);
+                    make_engine(kind, &p, cfg, 11).unwrap()
+                },
                 |mut engine| black_box(run_productive(engine.as_mut(), budget)),
                 criterion::BatchSize::SmallInput,
             )

@@ -7,10 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ssr_core::{GenericRanking, LineOfTraps, RingOfTraps, TreeRanking};
-use ssr_engine::{JumpSimulation, ProductiveClasses};
+use ssr_engine::{JumpSimulation, InteractionSchema};
 use std::hint::black_box;
 
-fn run_to_silence<P: ProductiveClasses>(p: &P, seed: u64) -> u64 {
+fn run_to_silence<P: InteractionSchema>(p: &P, seed: u64) -> u64 {
     let n = ssr_engine::Protocol::population_size(p);
     let mut sim = JumpSimulation::new(p, vec![0; n], seed).unwrap();
     sim.run_until_silent(u64::MAX).unwrap().interactions

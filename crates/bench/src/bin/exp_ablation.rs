@@ -21,7 +21,7 @@ use ssr_engine::State;
 use ssr_core::line::{LineOfTraps, RoutingMode};
 use ssr_core::ring::RingOfTraps;
 use ssr_core::tree::TreeRanking;
-use ssr_engine::{run_trials, TrialConfig};
+use ssr_engine::{Init, Scenario};
 
 /// Measure with an interaction cap; timed-out trials count against the
 /// success rate (degraded designs are *expected* to blow the budget).
@@ -33,13 +33,16 @@ fn measure_from<P, F>(
     max_interactions: u64,
 ) -> (Option<Summary>, f64)
 where
-    P: ssr_engine::ProductiveClasses + Sync,
+    P: ssr_engine::InteractionSchema + Sync,
     F: Fn(&P, u64) -> Vec<State> + Sync,
 {
-    let cfg = TrialConfig::new(t)
-        .with_base_seed(seed)
-        .with_max_interactions(max_interactions);
-    let res = run_trials(p, |s| make(p, s), &cfg);
+    let make = |s| make(p, s);
+    let res = Scenario::new(p)
+        .init(Init::Custom(&make))
+        .trials(t)
+        .base_seed(seed)
+        .max_interactions(max_interactions)
+        .run();
     let times = res.parallel_times();
     let summary = if times.is_empty() {
         None
@@ -49,7 +52,7 @@ where
     (summary, res.success_rate())
 }
 
-fn measure<P: ssr_engine::ProductiveClasses + Sync>(
+fn measure<P: ssr_engine::InteractionSchema + Sync>(
     p: &P,
     t: usize,
     seed: u64,

@@ -16,7 +16,7 @@ use ssr_analysis::sweep::{sweep, SweepOptions};
 use ssr_analysis::{fit_power_law, Summary, Table};
 use ssr_bench::{grid, print_header, report_sweep, stacked_start, trials, uniform_start, verdict};
 use ssr_core::generic::GenericRanking;
-use ssr_engine::engine::{make_engine, EngineKind};
+use ssr_engine::{EngineKind, Init, Scenario};
 
 fn main() {
     print_header(
@@ -74,13 +74,13 @@ fn main() {
         &[EngineKind::Naive, EngineKind::Jump, EngineKind::Count]
     };
     for &kind in kinds {
+        let scenario = Scenario::new(&p)
+            .engine(kind)
+            .init(Init::Stacked)
+            .base_seed(300);
         let start = std::time::Instant::now();
         let times: Vec<f64> = (0..cmp_trials)
-            .map(|s| {
-                let mut e =
-                    make_engine(kind, &p, stacked_start(&p, 300 + s), 300 + s).unwrap();
-                e.run_until_silent(u64::MAX).unwrap().parallel_time
-            })
+            .map(|s| scenario.run_one(s).unwrap().parallel_time)
             .collect();
         let wall = start.elapsed() / cmp_trials as u32;
         cmp.add_row(vec![
@@ -110,13 +110,13 @@ fn main() {
         let n = nf as usize;
         let p = GenericRanking::new(n);
         let t_here = if n >= 8192 { 3 } else { ext_trials };
+        let scenario = Scenario::new(&p)
+            .engine(EngineKind::Count)
+            .init(Init::Stacked)
+            .base_seed(400);
         let start = std::time::Instant::now();
         let times: Vec<f64> = (0..t_here as u64)
-            .map(|s| {
-                let mut e = make_engine(EngineKind::Count, &p, stacked_start(&p, 400 + s), 400 + s)
-                    .unwrap();
-                e.run_until_silent(u64::MAX).unwrap().parallel_time
-            })
+            .map(|s| scenario.run_one(s).unwrap().parallel_time)
             .collect();
         let wall = start.elapsed() / t_here as u32;
         let med = Summary::of(&times).median;

@@ -19,9 +19,9 @@ use ssr_analysis::{fit_power_law, Summary, Table};
 use ssr_bench::{grid, print_header, trials, verdict};
 use ssr_core::{GenericRanking, RingOfTraps, TreeRanking};
 use ssr_engine::faults::recovery_after_faults;
-use ssr_engine::{ProductiveClasses, Protocol};
+use ssr_engine::{InteractionSchema, Protocol};
 
-fn recovery_times<P: ProductiveClasses>(
+fn recovery_times<P: InteractionSchema>(
     p: &P,
     faults: usize,
     n_trials: usize,

@@ -1,27 +1,33 @@
 //! E3+ — large-scale confirmation of the `O(n log n)` tree protocol.
 //!
 //! The headline result (Theorem 3) is an asymptotic claim; the main E3
-//! grid stops at `n = 16384`. The count-based batched engine pays
-//! amortised sub-interaction cost far from silence and `O(log #states)`
-//! only per *productive* interaction otherwise — `O(n log n)` of them for
-//! the tree protocol — so the law can now be checked across **four** more
-//! decades of `n`, up to `n = 2²⁴ ≈ 1.7·10⁷` (quick mode stops at
-//! `n = 16384`). The smallest grid point is cross-checked against the
-//! exact jump engine; both the raw exponent (should hover just above 1)
-//! and the log-corrected model `T ≈ c·n·log n` are fitted.
+//! grid stops at `n = 16384`. The count engine batches **every**
+//! interaction class of the tree protocol's schema — equal-rank dispersal,
+//! the buffer epidemic (extra–extra), and the reset/re-enter cross class —
+//! so runs that used to fall back to exact stepping for ~90% of their
+//! productive work (the `X_i + X_j` churn) now pay amortised
+//! sub-interaction cost end to end. That pushes the grid across **five**
+//! more decades of `n`, to `n = 2²⁷ ≈ 1.34·10⁸` (quick mode stops at
+//! `n = 16384`); memory stays `O(#states)`. The smallest grid point is
+//! cross-checked against the exact jump engine; both the raw exponent
+//! (should hover just above 1) and the log-corrected model
+//! `T ≈ c·n·log n` are fitted, and wall-clock per trial is recorded per
+//! decade so regressions in batching coverage are visible directly in
+//! this table.
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_scale`
+//! (full grid: the top point takes minutes per trial; set `SSR_QUICK=1`
+//! for a smoke run)
 
 use ssr_analysis::{fit_power_law, fit_power_law_with_polylog, Summary, Table};
-use ssr_bench::{print_header, stacked_start, trials, uniform_start, verdict};
+use ssr_bench::{print_header, trials, verdict};
 use ssr_core::TreeRanking;
-use ssr_engine::engine::{make_engine, EngineKind};
-use ssr_engine::Protocol;
+use ssr_engine::{EngineKind, Init, Protocol, Scenario};
 
 fn main() {
     print_header(
-        "E3+: tree protocol at scale (count engine)",
-        "Theorem 3's O(n log n) holds across four further decades of n",
+        "E3+: tree protocol at scale (count engine, all classes batched)",
+        "Theorem 3's O(n log n) holds across five further decades of n",
     );
     let t = trials(8);
     let ns: Vec<f64> = if ssr_bench::quick() {
@@ -31,9 +37,11 @@ fn main() {
             16384.0,
             65536.0,
             262144.0,
-            1_048_576.0,
-            4_194_304.0,
-            16_777_216.0,
+            1_048_576.0,   // 2^20
+            4_194_304.0,   // 2^22
+            16_777_216.0,  // 2^24
+            67_108_864.0,  // 2^26
+            134_217_728.0, // 2^27 ≈ 1.34·10⁸
         ]
     };
 
@@ -51,15 +59,24 @@ fn main() {
         let n = nf as usize;
         // Construction and per-trial cost both grow with n; thin the trial
         // count at the top of the grid so the full run stays tractable.
-        let t_here = if n > 1 << 20 { 2 } else { t };
+        let t_here = if n > 1 << 24 {
+            1
+        } else if n > 1 << 20 {
+            2
+        } else {
+            t
+        };
         let p = TreeRanking::new(n);
         let mut wall = std::time::Duration::ZERO;
-        let mut run = |mk: &dyn Fn(&TreeRanking, u64) -> Vec<u32>, base: u64| -> f64 {
+        let mut run = |init: Init<'_>, base: u64| -> f64 {
+            let scenario = Scenario::new(&p)
+                .engine(EngineKind::Count)
+                .init(init)
+                .base_seed(base);
             let times: Vec<f64> = (0..t_here as u64)
                 .map(|s| {
                     let start = std::time::Instant::now();
-                    let mut sim =
-                        make_engine(EngineKind::Count, &p, mk(&p, base + s), base + s).unwrap();
+                    let mut sim = scenario.build_engine(s).unwrap();
                     let rep = sim.run_until_silent(u64::MAX).unwrap();
                     wall += start.elapsed();
                     rep.parallel_time
@@ -67,8 +84,8 @@ fn main() {
                 .collect();
             Summary::of(&times).median
         };
-        let stacked = run(&stacked_start, 61_000);
-        let uniform = run(&uniform_start, 62_000);
+        let stacked = run(Init::Stacked, 61_000);
+        let uniform = run(Init::Uniform, 62_000);
         meds.push(uniform);
         let norm = uniform / (nf * nf.log2()) * 1e3;
         let per_trial = wall / (2 * t_here as u32);
@@ -90,15 +107,13 @@ fn main() {
         let n = ns[0] as usize;
         let p = TreeRanking::new(n);
         let sample = |kind: EngineKind| -> f64 {
-            let times: Vec<f64> = (0..t as u64)
-                .map(|s| {
-                    let mut sim =
-                        make_engine(kind, &p, uniform_start(&p, 63_000 + s), 63_000 + s)
-                            .unwrap();
-                    sim.run_until_silent(u64::MAX).unwrap().parallel_time
-                })
-                .collect();
-            Summary::of(&times).median
+            let res = Scenario::new(&p)
+                .engine(kind)
+                .init(Init::Uniform)
+                .trials(t)
+                .base_seed(63_000)
+                .run();
+            Summary::of(&res.parallel_times()).median
         };
         let jump = sample(EngineKind::Jump);
         let count = sample(EngineKind::Count);

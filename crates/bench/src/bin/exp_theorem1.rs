@@ -56,8 +56,12 @@ fn main() {
     let p = RingOfTraps::new(n_fixed);
     for &kf in &ks {
         let k = kf as usize;
-        let cfg = ssr_engine::TrialConfig::new(t).with_base_seed(300 + k as u64);
-        let res = ssr_engine::run_trials(&p, |seed| k_distant_start(&p, k, seed), &cfg);
+        let make = |seed| k_distant_start(&p, k, seed);
+        let res = ssr_engine::Scenario::new(&p)
+            .init(ssr_engine::Init::Custom(&make))
+            .trials(t)
+            .base_seed(300 + k as u64)
+            .run();
         let s = ssr_analysis::Summary::of(&res.parallel_times());
         meds.push(s.median);
         table.add_row(vec![

@@ -21,7 +21,7 @@
 //! benches live in `benches/`.
 
 use ssr_analysis::sweep::SweepResult;
-use ssr_engine::protocol::{ProductiveClasses, Protocol, State};
+use ssr_engine::protocol::{InteractionSchema, Protocol, State};
 use ssr_engine::rng::Xoshiro256;
 
 /// True when `SSR_QUICK` is set: experiment binaries shrink their grids.
@@ -94,15 +94,19 @@ pub fn verdict(what: &str, measured: f64, lo: f64, hi: f64) {
     );
 }
 
-/// Convenience: mean stabilisation parallel time over `trials` jump-chain
-/// runs from a fixed start generator.
+/// Convenience: mean stabilisation parallel time over `trials` runs from a
+/// fixed start generator, with automatic engine selection by `n`.
 pub fn mean_parallel_time<P, F>(p: &P, make: F, n_trials: usize, base_seed: u64) -> f64
 where
-    P: ProductiveClasses + Sync,
+    P: InteractionSchema + Sync,
     F: Fn(&P, u64) -> Vec<State> + Sync,
 {
-    let cfg = ssr_engine::TrialConfig::new(n_trials).with_base_seed(base_seed);
-    let res = ssr_engine::run_trials(p, |seed| make(p, seed), &cfg);
+    let make = |seed| make(p, seed);
+    let res = ssr_engine::Scenario::new(p)
+        .init(ssr_engine::Init::Custom(&make))
+        .trials(n_trials)
+        .base_seed(base_seed)
+        .run();
     let times = res.parallel_times();
     times.iter().sum::<f64>() / times.len().max(1) as f64
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ssr run    --protocol tree --n 1000 [--start uniform|stacked|k-distant]
-//!            [--k 5] [--seed 7] [--engine naive|jump|count] [--max 1000000000]
+//!            [--k 5] [--seed 7] [--engine auto|naive|jump|count] [--max 1000000000]
 //! ssr sweep  --protocol line --ns 72,324,960 [--trials 10] [--seed 0]
 //! ssr elect  --protocol ring --n 100 [--k 5] [--seed 7]
 //! ssr exact  --protocol generic --n 5 [--limit 200000] [--trials 20000]
@@ -20,10 +20,10 @@ use ssr_analysis::Summary;
 use ssr_core::{elect_leader, GenericRanking, LineOfTraps, RingOfTraps, TreeRanking};
 use ssr_engine::init::{self, DuplicatePlacement};
 use ssr_engine::rng::Xoshiro256;
-use ssr_engine::{make_engine, EngineKind, JumpSimulation, ProductiveClasses, Protocol, State};
+use ssr_engine::{EngineKind, Init, InteractionSchema, JumpSimulation, Protocol, Scenario, State};
 
-/// The four protocols behind one object-safe handle.
-fn make_protocol(kind: &str, n: usize) -> Result<Box<dyn ProductiveClasses + Sync>, String> {
+/// The four ranking protocols behind one object-safe schema handle.
+fn make_protocol(kind: &str, n: usize) -> Result<Box<dyn InteractionSchema + Sync>, String> {
     match kind {
         "generic" | "ag" => Ok(Box::new(GenericRanking::new(n))),
         "ring" => Ok(Box::new(RingOfTraps::new(n))),
@@ -59,13 +59,14 @@ fn make_start(
     }
 }
 
-/// Engine selection: `--engine naive|jump|count`, with the legacy
-/// `--naive <anything>` flag kept as an alias for `--engine naive`.
+/// Engine selection: `--engine auto|naive|jump|count` (default `auto` —
+/// count at large `n`, jump below), with the legacy `--naive <anything>`
+/// flag kept as an alias for `--engine naive`.
 fn engine_kind(a: &Args) -> Result<EngineKind, String> {
     if a.has("naive") {
         return Ok(EngineKind::Naive);
     }
-    EngineKind::parse(&a.str_or("engine", "jump"))
+    EngineKind::parse(&a.str_or("engine", "auto"))
 }
 
 fn cmd_run(a: &Args) -> Result<(), String> {
@@ -75,13 +76,19 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     let max = a.u64_or("max", u64::MAX)?;
     let kind = engine_kind(a)?;
     let start = make_start(p.as_ref(), &a.str_or("start", "uniform"), a.usize_or("k", 1)?, seed)?;
+    let make = move |_seed| start.clone();
+    let scenario = Scenario::new(p.as_ref())
+        .engine(kind)
+        .init(Init::Custom(&make))
+        .base_seed(seed);
+    let mut sim = scenario.build_engine(0).map_err(|e| e.to_string())?;
     println!(
-        "{}: n = {n}, {} states ({} extra), seed {seed}, engine {kind}",
+        "{}: n = {n}, {} states ({} extra), seed {seed}, engine {} ({kind})",
         p.name(),
         p.num_states(),
-        p.num_extra_states()
+        p.num_extra_states(),
+        sim.engine_name()
     );
-    let mut sim = make_engine(kind, p.as_ref(), start, seed).map_err(|e| e.to_string())?;
     let report = sim.run_until_silent(max).map_err(|e| e.to_string())?;
     println!(
         "silent after {} interactions (parallel time {:.1}); {} productive",
@@ -95,6 +102,7 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
     let ns = a.usize_list_or("ns", &[64, 128, 256, 512])?;
     let trials = a.usize_or("trials", 10)?;
     let seed = a.u64_or("seed", 0)?;
+    let engine = engine_kind(a)?;
     let grid: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
     // The sweep driver needs a concrete type; dispatch per protocol.
     macro_rules! run_sweep {
@@ -106,7 +114,9 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
                     let mut rng = Xoshiro256::seed_from_u64(s);
                     init::uniform_random(p.population_size(), p.num_states(), &mut rng)
                 },
-                &SweepOptions::new(trials).with_base_seed(seed),
+                &SweepOptions::new(trials)
+                    .with_base_seed(seed)
+                    .with_engine(engine),
             );
             print!("{}", res.to_table("n").render());
             if res.rows.len() >= 2 && res.rows.iter().all(|r| r.median > 0.0) {
@@ -226,6 +236,15 @@ fn cmd_info(a: &Args) -> Result<(), String> {
     println!("rank states:  {}", p.num_rank_states());
     println!("extra states: {}", p.num_extra_states());
     println!("total states: {}", p.num_states());
+    let classes = p.interaction_classes();
+    println!(
+        "interaction classes: {}",
+        classes
+            .iter()
+            .map(|c| format!("{:?}", c.class))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     ssr_engine::protocol::validate_distinct_ranks_silent(p.as_ref())
         .map(|_| println!("perfect rankings are silent: yes"))
         .map_err(|e| format!("contract violation: {e}"))?;
@@ -239,10 +258,12 @@ fn help() {
 commands:
   run    --protocol generic|ring|line|tree --n N
          [--start uniform|stacked|perfect|k-distant] [--k K]
-         [--seed S] [--max M] [--engine naive|jump|count]
+         [--seed S] [--max M] [--engine auto|naive|jump|count]
                                                simulate one run to silence
-                                               (count scales to n = 10⁷+)
-  sweep  --protocol P --ns 64,128,256 [--trials T] [--seed S]
+                                               (auto: count at n ≥ 4096,
+                                               jump below; count scales to
+                                               n = 10⁷+)
+  sweep  --protocol P --ns 64,128,256 [--trials T] [--seed S] [--engine E]
                                                time-vs-n table + power fit
   elect  --protocol P --n N [--start ...] [--k K] [--seed S]
                                                run leader election
@@ -322,26 +343,41 @@ mod tests {
     #[test]
     fn engine_flag_parses_all_kinds_and_legacy_alias() {
         let args = |v: &[&str]| Args::parse(v.iter().map(|s| s.to_string())).unwrap();
-        for kind in ["naive", "jump", "count"] {
+        for kind in ["auto", "naive", "jump", "count"] {
             let a = args(&["run", "--engine", kind]);
             assert_eq!(engine_kind(&a).unwrap().name(), kind);
         }
-        assert_eq!(engine_kind(&args(&["run"])).unwrap(), EngineKind::Jump);
+        assert_eq!(engine_kind(&args(&["run"])).unwrap(), EngineKind::Auto);
         let legacy = args(&["run", "--naive", "true"]);
         assert_eq!(engine_kind(&legacy).unwrap(), EngineKind::Naive);
         assert!(engine_kind(&args(&["run", "--engine", "warp"])).is_err());
     }
 
     #[test]
-    fn every_engine_drives_every_protocol_through_the_factory() {
+    fn every_engine_drives_every_protocol_through_a_scenario() {
         for proto in ["generic", "ring", "line", "tree"] {
             let p = make_protocol(proto, 12).unwrap();
-            for kind in EngineKind::ALL {
+            for kind in EngineKind::ALL.into_iter().chain([EngineKind::Auto]) {
                 let start = make_start(p.as_ref(), "stacked", 0, 3).unwrap();
-                let mut e = make_engine(kind, p.as_ref(), start, 3).unwrap();
+                let make = move |_| start.clone();
+                let mut e = Scenario::new(p.as_ref())
+                    .engine(kind)
+                    .init(Init::Custom(&make))
+                    .base_seed(3)
+                    .build_engine(0)
+                    .unwrap();
                 e.run_until_silent(u64::MAX).unwrap();
                 assert!(e.is_silent(), "{proto}/{kind}");
             }
+        }
+    }
+
+    #[test]
+    fn schema_validates_for_every_cli_protocol() {
+        for proto in ["generic", "ring", "line", "tree"] {
+            let p = make_protocol(proto, 14).unwrap();
+            ssr_engine::validate_interaction_schema(p.as_ref())
+                .unwrap_or_else(|e| panic!("{proto}: {e}"));
         }
     }
 }

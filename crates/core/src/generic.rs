@@ -29,7 +29,7 @@
 //! # }
 //! ```
 
-use ssr_engine::protocol::{ProductiveClasses, Protocol, State};
+use ssr_engine::protocol::{ClassSpec, InteractionSchema, Protocol, State};
 
 /// The baseline protocol `A_G` for a population of `n` agents.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,8 +81,13 @@ impl Protocol for GenericRanking {
     }
 }
 
-impl ProductiveClasses for GenericRanking {
-    fn has_equal_rank_rule(&self, _s: State) -> bool {
+impl InteractionSchema for GenericRanking {
+    /// One class: the single rule is an equal-rank rule at every state.
+    fn interaction_classes(&self) -> Vec<ClassSpec> {
+        vec![ClassSpec::equal_rank()]
+    }
+
+    fn equal_rank_rule(&self, _s: State) -> bool {
         self.n > 1
     }
 }

@@ -16,10 +16,12 @@
 //! protocol and never silent, but quantifies what the paper's ≥ n-state
 //! lower bound buys — a leader held forever rather than leased.
 //!
-//! All four implement [`ssr_engine::Protocol`] (and
-//! [`ssr_engine::ProductiveClasses`], so the exact jump-chain simulator
-//! applies) and uphold the *ranking contract*: silent ⇔ every agent in a
-//! distinct rank state. [`trap`] provides the shared agent-trap machinery
+//! All five implement [`ssr_engine::Protocol`] and declare their
+//! productive classes through [`ssr_engine::InteractionSchema`], so every
+//! engine (naive, exact jump chain, batched count) applies; the four
+//! ranking protocols additionally uphold the *ranking contract*: silent ⇔
+//! every agent in a distinct rank state ([`loose`] goes through the
+//! schema's sparse-pair escape hatch and is never silent). [`trap`] provides the shared agent-trap machinery
 //! (§2.1) and [`leader`] the leader-election wrapper (rank 0 = leader).
 //!
 //! ## Quickstart

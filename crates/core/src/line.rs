@@ -44,7 +44,7 @@
 //! # }
 //! ```
 
-use ssr_engine::protocol::{ExtraRankCross, ProductiveClasses, Protocol, State};
+use ssr_engine::protocol::{ClassSpec, CrossDirection, InteractionSchema, Protocol, State};
 use ssr_topology::{distribute, CubicGraph, TrapChain};
 
 /// How `X`-agents are routed to line entrances (ablation knob; the paper
@@ -458,17 +458,20 @@ impl Protocol for LineOfTraps {
     }
 }
 
-impl ProductiveClasses for LineOfTraps {
-    fn has_equal_rank_rule(&self, _s: State) -> bool {
-        true
+impl InteractionSchema for LineOfTraps {
+    /// Three classes: trap descents on equal ranks, the `X + X` drift rule
+    /// on every extra pair, and the routing rule `j + X` with the rank
+    /// agent as initiator.
+    fn interaction_classes(&self) -> Vec<ClassSpec> {
+        vec![
+            ClassSpec::equal_rank(),
+            ClassSpec::extra_extra(),
+            ClassSpec::rank_extra(CrossDirection::RankInitiator),
+        ]
     }
 
-    fn extra_extra_all(&self) -> bool {
+    fn equal_rank_rule(&self, _s: State) -> bool {
         true
-    }
-
-    fn extra_rank_cross(&self) -> ExtraRankCross {
-        ExtraRankCross::RankInitiatorOnly
     }
 }
 

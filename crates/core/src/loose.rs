@@ -53,7 +53,7 @@
 //! # }
 //! ```
 
-use ssr_engine::protocol::{Protocol, State};
+use ssr_engine::protocol::{ClassSpec, InteractionSchema, Protocol, State};
 
 /// Timer-based loosely-stabilising leader election (see module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,12 +173,71 @@ impl Protocol for LooseLeaderElection {
     }
 }
 
+impl InteractionSchema for LooseLeaderElection {
+    /// The timer rules fit none of the structured ranking-protocol shapes
+    /// (the whole space counts as "rank" states and distinct-state pairs
+    /// interact), so beyond the diagonal — every same-state meeting is
+    /// productive, an equal-rank class — the off-diagonal rules go through
+    /// the sparse-pair escape hatch: `O(τ²)` enumerated pairs with
+    /// `τ = O(log n)`. This is what lets the jump and count engines drive
+    /// a protocol the three structured classes cannot express.
+    fn interaction_classes(&self) -> Vec<ClassSpec> {
+        let mut classes = vec![ClassSpec::equal_rank()];
+        let s_total = self.num_states() as State;
+        for a in 0..s_total {
+            for b in 0..s_total {
+                if a != b && self.transition(a, b).is_some() {
+                    classes.push(ClassSpec::pair(a, b));
+                }
+            }
+        }
+        classes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ssr_engine::observer::NullObserver;
     use ssr_engine::rng::Xoshiro256;
     use ssr_engine::Simulation;
+
+    #[test]
+    fn schema_is_exact() {
+        for (n, tau) in [(8usize, 5u32), (20, 9), (40, 16)] {
+            ssr_engine::validate_interaction_schema(&LooseLeaderElection::with_timer(n, tau))
+                .unwrap_or_else(|e| panic!("n={n} tau={tau}: {e}"));
+        }
+    }
+
+    #[test]
+    fn jump_engine_drives_loose_protocol_to_a_unique_leader() {
+        // The schema (equal-rank + sparse pairs) lets the null-skipping
+        // engines run a never-silent protocol: advance a productive-step
+        // budget and check convergence, as the naive tests do with raw
+        // interactions.
+        use ssr_engine::JumpSimulation;
+        let n = 50;
+        let p = LooseLeaderElection::new(n);
+        let mut sim = JumpSimulation::new(&p, vec![p.leader_state(); n], 23).unwrap();
+        for _ in 0..200 * n {
+            sim.step_productive();
+        }
+        assert_eq!(p.leader_count(sim.counts()), 1, "duels must leave one leader");
+    }
+
+    #[test]
+    fn count_engine_agrees_with_naive_on_leader_convergence() {
+        use ssr_engine::CountSimulation;
+        let n = 60;
+        let p = LooseLeaderElection::new(n);
+        let mut sim = CountSimulation::new(&p, vec![p.timer_max(); n], 29).unwrap();
+        let mut productive = 0u64;
+        while productive < 4_000 * n as u64 {
+            productive += sim.advance_chain().expect("loose protocols never go silent");
+        }
+        assert_eq!(p.leader_count(sim.counts()), 1);
+    }
 
     fn run_for(p: &LooseLeaderElection, start: Vec<State>, seed: u64, budget: u64) -> Vec<u32> {
         let mut sim = Simulation::new(p, start, seed).unwrap();

@@ -38,7 +38,7 @@
 //! ```
 
 use crate::trap::{self, TrapView};
-use ssr_engine::protocol::{ProductiveClasses, Protocol, State};
+use ssr_engine::protocol::{ClassSpec, InteractionSchema, Protocol, State};
 use ssr_topology::TrapChain;
 
 /// Ring-of-traps protocol instance for a population of `n` agents.
@@ -168,8 +168,13 @@ impl Protocol for RingOfTraps {
     }
 }
 
-impl ProductiveClasses for RingOfTraps {
-    fn has_equal_rank_rule(&self, s: State) -> bool {
+impl InteractionSchema for RingOfTraps {
+    /// One class: every trap rule fires on equal-rank pairs only.
+    fn interaction_classes(&self) -> Vec<ClassSpec> {
+        vec![ClassSpec::equal_rank()]
+    }
+
+    fn equal_rank_rule(&self, s: State) -> bool {
         self.n > 1 || s != 0
     }
 }

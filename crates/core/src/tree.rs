@@ -44,7 +44,7 @@
 //! # }
 //! ```
 
-use ssr_engine::protocol::{ExtraRankCross, ProductiveClasses, Protocol, State};
+use ssr_engine::protocol::{ClassSpec, CrossDirection, InteractionSchema, Protocol, State};
 use ssr_topology::{BalancedTree, NodeKind};
 
 /// Tree-of-ranks protocol instance for a population of `n` agents.
@@ -284,17 +284,20 @@ impl Protocol for TreeRanking {
     }
 }
 
-impl ProductiveClasses for TreeRanking {
-    fn has_equal_rank_rule(&self, _s: State) -> bool {
+impl InteractionSchema for TreeRanking {
+    /// Three classes: dispersal/reset on equal ranks (`R1`/`R2`), the
+    /// buffer epidemic on every extra pair (`R3`/`R5`), and the symmetric
+    /// unload/re-enter cross rule (`R4`).
+    fn interaction_classes(&self) -> Vec<ClassSpec> {
+        vec![
+            ClassSpec::equal_rank(),
+            ClassSpec::extra_extra(),
+            ClassSpec::rank_extra(CrossDirection::Both),
+        ]
+    }
+
+    fn equal_rank_rule(&self, _s: State) -> bool {
         self.n > 1
-    }
-
-    fn extra_extra_all(&self) -> bool {
-        true
-    }
-
-    fn extra_rank_cross(&self) -> ExtraRankCross {
-        ExtraRankCross::Symmetric
     }
 }
 

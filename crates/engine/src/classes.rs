@@ -1,0 +1,828 @@
+//! Compiled interaction schema and live weight state, shared by the jump
+//! and count engines.
+//!
+//! A protocol's declarative [`InteractionSchema`] is compiled once per
+//! engine construction into a [`CompiledSchema`] (flags, the equal-rank
+//! membership table, the sparse-pair index), and the engine keeps one
+//! [`ClassState`]: the occupancy counts plus every per-class weight
+//! structure, updated incrementally on each count change. Both engines
+//! sample the next productive ordered state pair through
+//! [`ClassState::sample_pair`] with the same single-RNG-draw discipline, so
+//! "jump and count are trace-identical per seed" is structural rather than
+//! a convention two copies must uphold by hand.
+//!
+//! The class weight decomposition over occupancy counts `c_s` (with `R`/`E`
+//! the number of agents in rank/extra states):
+//!
+//! ```text
+//! W = Σ_s c_s(c_s − 1)·[equal-rank rule at s]      (equal-rank tree)
+//!   + E(E − 1)·[extra–extra declared]
+//!   + R·E·dirs                                     (rank–extra cross)
+//!   + Σ_(a,b) c_a·(c_b − [a = b])                  (enumerated sparse pairs)
+//! ```
+
+use crate::error::ConfigError;
+use crate::protocol::{ClassSpec, CrossDirection, InteractionClass, InteractionSchema, State};
+use crate::rng::Xoshiro256;
+
+/// At or below this many remaining draws, [`WeightTree::split`] switches
+/// from binomial splitting to direct weighted descends (cheaper in RNG
+/// draws, identical in distribution).
+const SPLIT_DIRECT_THRESHOLD: u64 = 8;
+
+/// Complete binary weight tree over `u64` weights: `O(log n)` point
+/// updates, `O(1)` totals, `O(log n)` weighted sampling, and — the reason
+/// it exists next to [`Fenwick`](crate::fenwick::Fenwick) — recursive
+/// multinomial **splitting** of a batch over all weighted slots in
+/// `O(occupied)` binomial draws.
+///
+/// `sample` maps a target offset to the slot containing it in prefix-sum
+/// order, exactly like [`Fenwick::sample`](crate::fenwick::Fenwick::sample),
+/// so the two structures are interchangeable draw-for-draw.
+#[derive(Debug, Clone)]
+pub struct WeightTree {
+    /// Number of leaves (padded to a power of two).
+    size: usize,
+    /// Logical slot count.
+    len: usize,
+    /// 1-based heap layout; `tree[1]` is the root, leaves start at `size`.
+    tree: Vec<u64>,
+}
+
+impl WeightTree {
+    /// Tree of `len` zero weights.
+    pub fn new(len: usize) -> Self {
+        let size = len.next_power_of_two().max(1);
+        WeightTree {
+            size,
+            len,
+            tree: vec![0; 2 * size],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current weight at `index`.
+    #[inline]
+    pub fn weight(&self, index: usize) -> u64 {
+        self.tree[self.size + index]
+    }
+
+    /// Sum of all weights.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.tree[1]
+    }
+
+    /// Set the weight at `index` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: u64) {
+        assert!(index < self.len, "weight index out of range");
+        let mut node = self.size + index;
+        let old = self.tree[node];
+        if old == value {
+            return;
+        }
+        // Delta propagation: one read-modify-write per ancestor.
+        if value >= old {
+            let delta = value - old;
+            while node >= 1 {
+                self.tree[node] += delta;
+                node >>= 1;
+            }
+        } else {
+            let delta = old - value;
+            while node >= 1 {
+                self.tree[node] -= delta;
+                node >>= 1;
+            }
+        }
+    }
+
+    /// Slot containing offset `target` when weights are laid end to end
+    /// (identical mapping to
+    /// [`Fenwick::sample`](crate::fenwick::Fenwick::sample)).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `target >= total()`.
+    #[inline]
+    pub fn sample(&self, mut target: u64) -> usize {
+        debug_assert!(target < self.total(), "sample target out of range");
+        let mut node = 1usize;
+        while node < self.size {
+            let left = 2 * node;
+            if self.tree[left] > target {
+                node = left;
+            } else {
+                target -= self.tree[left];
+                node = left + 1;
+            }
+        }
+        node - self.size
+    }
+
+    /// Split a batch of `b` weighted draws across all slots: appends
+    /// `(slot, k_slot)` pairs with `Σ k_slot == b`, distributed
+    /// multinomially with probabilities proportional to slot weights.
+    ///
+    /// Implemented by recursive binomial splitting at each tree node, so
+    /// the cost is `O(occupied)` binomial draws rather than `O(b)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `b > 0` with zero total weight.
+    pub fn split(&self, b: u64, rng: &mut Xoshiro256, out: &mut Vec<(usize, u64)>) {
+        if b == 0 {
+            return;
+        }
+        debug_assert!(self.total() > 0, "cannot split over zero weight");
+        self.split_rec(1, b, rng, out);
+    }
+
+    fn split_rec(&self, node: usize, b: u64, rng: &mut Xoshiro256, out: &mut Vec<(usize, u64)>) {
+        if b == 0 {
+            return;
+        }
+        if node >= self.size {
+            out.push((node - self.size, b));
+            return;
+        }
+        if b <= SPLIT_DIRECT_THRESHOLD {
+            // Few draws left in this subtree: b direct weighted descends
+            // (one RNG draw each) beat a binomial per level. Identical in
+            // distribution — both are the multinomial over leaf weights.
+            let total = self.tree[node];
+            for _ in 0..b {
+                let mut target = rng.below(total);
+                let mut pos = node;
+                while pos < self.size {
+                    let left = 2 * pos;
+                    if self.tree[left] > target {
+                        pos = left;
+                    } else {
+                        target -= self.tree[left];
+                        pos = left + 1;
+                    }
+                }
+                let leaf = pos - self.size;
+                // Runs of the same leaf are coalesced opportunistically;
+                // duplicates across runs are harmless to the caller.
+                match out.last_mut() {
+                    Some((last, k)) if *last == leaf => *k += 1,
+                    _ => out.push((leaf, 1)),
+                }
+            }
+            return;
+        }
+        let left = 2 * node;
+        let wl = self.tree[left];
+        let wr = self.tree[left + 1];
+        let kl = if wr == 0 {
+            b
+        } else if wl == 0 {
+            0
+        } else {
+            rng.binomial(b, wl as f64 / (wl + wr) as f64)
+        };
+        self.split_rec(left, kl, rng, out);
+        self.split_rec(left + 1, b - kl, rng, out);
+    }
+}
+
+/// A protocol's [`InteractionSchema`] flattened into the form the engines
+/// consume: flags per structured class, the equal-rank membership table,
+/// and an index over the enumerated sparse pairs.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledSchema {
+    /// Whether the `EqualRank` class is declared.
+    pub eq: bool,
+    pub eq_exchangeable: bool,
+    /// `has_eq[s]` for rank states (empty when `eq` is false).
+    pub has_eq: Vec<bool>,
+    /// Whether the `ExtraExtra` class is declared.
+    pub xx: bool,
+    pub xx_exchangeable: bool,
+    /// Declared cross direction(s), if any (two single-direction
+    /// declarations merge into `Both`).
+    pub cross: Option<CrossDirection>,
+    pub cross_exchangeable: bool,
+    /// Enumerated sparse pairs, in declaration order.
+    pub pairs: Vec<(State, State)>,
+    /// All sparse pairs exchangeable (the batch granularity is the class).
+    pub pairs_exchangeable: bool,
+    /// For each state, the indices into `pairs` whose weight depends on
+    /// that state's occupancy (empty when there are no pairs).
+    pub pairs_by_state: Vec<Vec<u32>>,
+}
+
+impl CompiledSchema {
+    /// Flatten `p`'s declared classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on declarations no engine can execute: duplicate structured
+    /// classes, duplicate enumerated pairs, or pair states out of range.
+    /// (Semantic agreement with the transition function is checked by
+    /// [`crate::protocol::validate_interaction_schema`], not here.)
+    pub fn compile<P: InteractionSchema + ?Sized>(p: &P) -> Self {
+        let num_ranks = p.num_rank_states();
+        let num_states = p.num_states();
+        let mut schema = CompiledSchema {
+            eq: false,
+            eq_exchangeable: true,
+            has_eq: Vec::new(),
+            xx: false,
+            xx_exchangeable: true,
+            cross: None,
+            cross_exchangeable: true,
+            pairs: Vec::new(),
+            pairs_exchangeable: true,
+            pairs_by_state: Vec::new(),
+        };
+        for ClassSpec {
+            class,
+            exchangeable,
+        } in p.interaction_classes()
+        {
+            match class {
+                InteractionClass::EqualRank => {
+                    assert!(!schema.eq, "EqualRank class declared twice");
+                    schema.eq = true;
+                    schema.eq_exchangeable = exchangeable;
+                }
+                InteractionClass::ExtraExtra => {
+                    assert!(!schema.xx, "ExtraExtra class declared twice");
+                    schema.xx = true;
+                    schema.xx_exchangeable = exchangeable;
+                }
+                InteractionClass::RankExtra(d) => {
+                    schema.cross = Some(match (schema.cross, d) {
+                        (None, d) => d,
+                        (Some(CrossDirection::RankInitiator), CrossDirection::ExtraInitiator)
+                        | (Some(CrossDirection::ExtraInitiator), CrossDirection::RankInitiator) => {
+                            CrossDirection::Both
+                        }
+                        (Some(prev), d) => {
+                            panic!("RankExtra directions {prev:?} and {d:?} overlap")
+                        }
+                    });
+                    schema.cross_exchangeable &= exchangeable;
+                }
+                InteractionClass::Pair {
+                    initiator,
+                    responder,
+                } => {
+                    assert!(
+                        (initiator as usize) < num_states && (responder as usize) < num_states,
+                        "sparse pair ({initiator},{responder}) out of state range"
+                    );
+                    assert!(
+                        !schema.pairs.contains(&(initiator, responder)),
+                        "sparse pair ({initiator},{responder}) declared twice"
+                    );
+                    schema.pairs.push((initiator, responder));
+                    schema.pairs_exchangeable &= exchangeable;
+                }
+            }
+        }
+        if schema.eq {
+            schema.has_eq = (0..num_ranks)
+                .map(|s| p.equal_rank_rule(s as State))
+                .collect();
+        }
+        if !schema.pairs.is_empty() {
+            schema.pairs_by_state = vec![Vec::new(); num_states];
+            for (i, &(a, b)) in schema.pairs.iter().enumerate() {
+                schema.pairs_by_state[a as usize].push(i as u32);
+                if b != a {
+                    schema.pairs_by_state[b as usize].push(i as u32);
+                }
+            }
+        }
+        schema
+    }
+}
+
+/// Weight of one enumerated ordered state pair under `counts`.
+#[inline]
+fn pair_weight(counts: &[u32], a: State, b: State) -> u64 {
+    let ca = counts[a as usize] as u64;
+    if a == b {
+        ca * ca.saturating_sub(1)
+    } else {
+        ca * counts[b as usize] as u64
+    }
+}
+
+/// Live weight state for a compiled schema: occupancy counts plus every
+/// per-class weight structure, kept consistent through
+/// [`update_count`](Self::update_count).
+#[derive(Debug, Clone)]
+pub(crate) struct ClassState {
+    pub schema: CompiledSchema,
+    pub counts: Vec<u32>,
+    pub num_ranks: usize,
+    /// Per-rank-state weight `c(c−1)` where an equal-rank rule exists
+    /// (zero-length when the class is not declared).
+    pub eq: WeightTree,
+    /// Per-rank-state occupancy, for cross-pair sampling and splitting
+    /// (zero-length when no cross class is declared).
+    pub rank_occ: WeightTree,
+    /// Per-sparse-pair weight (zero-length without enumerated pairs).
+    pub sparse: WeightTree,
+    pub rank_agents: u64,
+    pub extra_agents: u64,
+    /// Upper bound on the occupancy of any rank state with an equal-rank
+    /// rule; grows eagerly on updates, shrinks only on
+    /// [`refresh_max_eq`](Self::refresh_max_eq). Drives the count engine's
+    /// equal-rank batch cap; harmless bookkeeping for the jump engine.
+    pub max_eq_bound: u64,
+}
+
+impl ClassState {
+    /// Build the weight state for `protocol` from per-state occupancy
+    /// counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::WrongPopulation`] if the counts vector
+    /// length differs from the state-space size or the counts do not sum
+    /// to the population.
+    pub fn new<P: InteractionSchema + ?Sized>(
+        protocol: &P,
+        counts: Vec<u32>,
+    ) -> Result<Self, ConfigError> {
+        let n = protocol.population_size();
+        if counts.len() != protocol.num_states() {
+            return Err(ConfigError::WrongPopulation {
+                expected: protocol.num_states(),
+                got: counts.len(),
+            });
+        }
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        if total != n as u64 {
+            return Err(ConfigError::WrongPopulation {
+                expected: n,
+                got: total as usize,
+            });
+        }
+        let schema = CompiledSchema::compile(protocol);
+        let num_ranks = protocol.num_rank_states();
+        let mut eq = WeightTree::new(if schema.eq { num_ranks } else { 0 });
+        let mut rank_occ = WeightTree::new(if schema.cross.is_some() { num_ranks } else { 0 });
+        let mut sparse = WeightTree::new(schema.pairs.len());
+        let mut rank_agents = 0u64;
+        let mut max_eq_bound = 1u64;
+        for (s, &c) in counts.iter().take(num_ranks).enumerate() {
+            let c = c as u64;
+            rank_agents += c;
+            if !rank_occ.is_empty() {
+                rank_occ.set(s, c);
+            }
+            if schema.eq && schema.has_eq[s] {
+                eq.set(s, c * c.saturating_sub(1));
+                max_eq_bound = max_eq_bound.max(c);
+            }
+        }
+        for (i, &(a, b)) in schema.pairs.iter().enumerate() {
+            sparse.set(i, pair_weight(&counts, a, b));
+        }
+        let extra_agents = n as u64 - rank_agents;
+        Ok(ClassState {
+            schema,
+            counts,
+            num_ranks,
+            eq,
+            rank_occ,
+            sparse,
+            rank_agents,
+            extra_agents,
+            max_eq_bound,
+        })
+    }
+
+    /// Add `delta` to the occupancy of state `s`, updating every weight
+    /// structure the schema declares.
+    #[inline]
+    pub fn update_count(&mut self, s: State, delta: i64) {
+        let su = s as usize;
+        let c = (self.counts[su] as i64 + delta) as u32;
+        self.counts[su] = c;
+        if su < self.num_ranks {
+            self.rank_agents = (self.rank_agents as i64 + delta) as u64;
+            if !self.rank_occ.is_empty() {
+                self.rank_occ.set(su, c as u64);
+            }
+            if self.schema.eq && self.schema.has_eq[su] {
+                let c = c as u64;
+                self.eq.set(su, c * c.saturating_sub(1));
+                if c > self.max_eq_bound {
+                    self.max_eq_bound = c;
+                }
+            }
+        } else {
+            self.extra_agents = (self.extra_agents as i64 + delta) as u64;
+        }
+        if !self.schema.pairs.is_empty() {
+            for i in 0..self.schema.pairs_by_state[su].len() {
+                let pi = self.schema.pairs_by_state[su][i] as usize;
+                let (a, b) = self.schema.pairs[pi];
+                self.sparse.set(pi, pair_weight(&self.counts, a, b));
+            }
+        }
+    }
+
+    /// Re-derive the exact maximum equal-rank occupancy (the tracked bound
+    /// only grows between calls). `O(num_ranks)`.
+    pub fn refresh_max_eq(&mut self) {
+        let mut max = 1u64;
+        for s in 0..self.num_ranks {
+            if self.schema.has_eq[s] {
+                max = max.max(self.counts[s] as u64);
+            }
+        }
+        self.max_eq_bound = max;
+    }
+
+    /// Weight of the equal-rank class.
+    #[inline]
+    pub fn eq_weight(&self) -> u64 {
+        self.eq.total()
+    }
+
+    /// Weight of the extra–extra class.
+    #[inline]
+    pub fn xx_weight(&self) -> u64 {
+        if self.schema.xx {
+            self.extra_agents * self.extra_agents.saturating_sub(1)
+        } else {
+            0
+        }
+    }
+
+    /// Weight of the rank–extra cross class.
+    #[inline]
+    pub fn cross_weight(&self) -> u64 {
+        match self.schema.cross {
+            None => 0,
+            Some(d) => d.multiplier() * self.rank_agents * self.extra_agents,
+        }
+    }
+
+    /// Weight of the enumerated sparse-pair class.
+    #[inline]
+    pub fn sparse_weight(&self) -> u64 {
+        self.sparse.total()
+    }
+
+    /// Total number of productive ordered pairs in the current
+    /// configuration.
+    #[inline]
+    pub fn productive_pairs(&self) -> u64 {
+        self.eq_weight() + self.xx_weight() + self.cross_weight() + self.sparse_weight()
+    }
+
+    /// Number of occupied extra states and the maximum extra-state
+    /// occupancy. `O(num_extra_states)`.
+    pub fn extra_occupancy(&self) -> (usize, u64) {
+        let mut occupied = 0usize;
+        let mut max = 0u64;
+        for &c in &self.counts[self.num_ranks..] {
+            if c > 0 {
+                occupied += 1;
+                max = max.max(c as u64);
+            }
+        }
+        (occupied, max)
+    }
+
+    /// Sample the `idx`-th extra agent (0-based over all agents in extra
+    /// states, grouped by state id) and return its state.
+    pub fn extra_state_at(&self, mut idx: u64, skip_one_of: Option<State>) -> State {
+        for s in self.num_ranks..self.counts.len() {
+            let mut c = self.counts[s] as u64;
+            if skip_one_of == Some(s as State) {
+                c -= 1;
+            }
+            if idx < c {
+                return s as State;
+            }
+            idx -= c;
+        }
+        unreachable!("extra agent index out of range");
+    }
+
+    /// Draw one productive ordered state pair with exactly one `below(W)`
+    /// RNG draw, `W = ` [`productive_pairs`](Self::productive_pairs)
+    /// (which the caller has verified to be positive). Class order is
+    /// equal-rank, extra–extra, cross, sparse.
+    pub fn sample_pair(&self, rng: &mut Xoshiro256) -> (State, State) {
+        let w_eq = self.eq_weight();
+        let w_xx = self.xx_weight();
+        let w_cross = self.cross_weight();
+        let w_sparse = self.sparse_weight();
+        let mut u = rng.below(w_eq + w_xx + w_cross + w_sparse);
+        if u < w_eq {
+            let s = self.eq.sample(u) as State;
+            return (s, s);
+        }
+        u -= w_eq;
+        if u < w_xx {
+            let e = self.extra_agents;
+            let a = u / (e - 1);
+            let b = u % (e - 1);
+            let s1 = self.extra_state_at(a, None);
+            let s2 = self.extra_state_at(b, Some(s1));
+            return (s1, s2);
+        }
+        u -= w_xx;
+        if u < w_cross {
+            let re = self.rank_agents * self.extra_agents;
+            let (extra_initiates, rem) = match self.schema.cross {
+                Some(CrossDirection::RankInitiator) => (false, u),
+                Some(CrossDirection::ExtraInitiator) => (true, u),
+                Some(CrossDirection::Both) => (u >= re, u % re),
+                None => unreachable!(),
+            };
+            let rank_idx = rem / self.extra_agents;
+            let extra_idx = rem % self.extra_agents;
+            let rank_state = self.rank_occ.sample(rank_idx) as State;
+            let extra_state = self.extra_state_at(extra_idx, None);
+            return if extra_initiates {
+                (extra_state, rank_state)
+            } else {
+                (rank_state, extra_state)
+            };
+        }
+        u -= w_cross;
+        self.schema.pairs[self.sparse.sample(u)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fenwick::Fenwick;
+    use crate::protocol::Protocol;
+
+    #[test]
+    fn weight_tree_matches_reference() {
+        let weights = [3u64, 0, 5, 1, 0, 0, 9, 2, 4, 0, 1];
+        let mut t = WeightTree::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            t.set(i, w);
+        }
+        assert_eq!(t.total(), weights.iter().sum::<u64>());
+        assert_eq!(t.weight(6), 9);
+        let mut offset = 0u64;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > 0 {
+                assert_eq!(t.sample(offset), i, "slot start {i}");
+                assert_eq!(t.sample(offset + w - 1), i, "slot end {i}");
+                offset += w;
+            }
+        }
+    }
+
+    #[test]
+    fn weight_tree_sample_agrees_with_fenwick() {
+        let mut t = WeightTree::new(37);
+        let mut f = Fenwick::new(37);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for i in 0..37 {
+            let w = rng.below(9);
+            t.set(i, w);
+            f.set(i, w);
+        }
+        assert_eq!(t.total(), f.total());
+        for target in 0..t.total() {
+            assert_eq!(t.sample(target), f.sample(target), "target {target}");
+        }
+    }
+
+    #[test]
+    fn weight_tree_split_conserves_and_tracks_weights() {
+        let mut t = WeightTree::new(16);
+        for (i, w) in [(0usize, 100u64), (3, 300), (7, 500), (15, 100)] {
+            t.set(i, w);
+        }
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mut totals = [0u64; 16];
+        let b = 1000;
+        let rounds = 200;
+        for _ in 0..rounds {
+            let mut out = Vec::new();
+            t.split(b, &mut rng, &mut out);
+            assert_eq!(out.iter().map(|&(_, k)| k).sum::<u64>(), b);
+            for (i, k) in out {
+                assert!(t.weight(i) > 0, "slot {i} drawn with zero weight");
+                totals[i] += k;
+            }
+        }
+        // Expected proportions 0.1 / 0.3 / 0.5 / 0.1 within a few percent.
+        let grand = (b * rounds) as f64;
+        for (i, expect) in [(0usize, 0.1), (3, 0.3), (7, 0.5), (15, 0.1)] {
+            let got = totals[i] as f64 / grand;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "slot {i}: {got:.3} vs {expect}"
+            );
+        }
+    }
+
+    /// A protocol exercising every class shape at once: equal-rank rules,
+    /// a cross class, extra–extra — declared exactly.
+    struct AllClasses;
+    impl Protocol for AllClasses {
+        fn name(&self) -> &str {
+            "all-classes"
+        }
+        fn population_size(&self) -> usize {
+            6
+        }
+        fn num_states(&self) -> usize {
+            8
+        }
+        fn num_rank_states(&self) -> usize {
+            6
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            let rank = |s: State| (s as usize) < 6;
+            match (rank(i), rank(r)) {
+                (true, true) => (i == r).then_some((i, (r + 1) % 6)),
+                // Extras always fall back to rank 5 (never identity).
+                (false, false) => Some((5, 5)),
+                (true, false) => Some((i, 5)),
+                (false, true) => Some((5, r)),
+            }
+        }
+    }
+    impl InteractionSchema for AllClasses {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![
+                ClassSpec::equal_rank(),
+                ClassSpec::extra_extra(),
+                ClassSpec::rank_extra(CrossDirection::Both),
+            ]
+        }
+    }
+
+    #[test]
+    fn class_state_weights_match_brute_force(){
+        crate::protocol::validate_interaction_schema(&AllClasses).unwrap();
+        // counts: ranks [2, 1, 0, 1, 0, 0], extras [1, 1]
+        let counts = vec![2, 1, 0, 1, 0, 0, 1, 1];
+        let st = ClassState::new(&AllClasses, counts.clone()).unwrap();
+        // Brute force: count productive ordered agent pairs.
+        let mut expect = 0u64;
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                if AllClasses.transition(a, b).is_some() {
+                    expect += pair_weight(&counts, a, b);
+                }
+            }
+        }
+        assert_eq!(st.productive_pairs(), expect);
+        assert_eq!(st.eq_weight(), 2); // only state 0 has c(c−1) = 2
+        assert_eq!(st.xx_weight(), 2); // E = 2
+        assert_eq!(st.cross_weight(), 2 * 4 * 2); // both directions, R·E = 8
+    }
+
+    #[test]
+    fn update_count_keeps_weights_consistent() {
+        let counts = vec![2, 1, 0, 1, 0, 0, 1, 1];
+        let mut st = ClassState::new(&AllClasses, counts).unwrap();
+        st.update_count(0, -1);
+        st.update_count(6, 1);
+        let fresh = ClassState::new(&AllClasses, st.counts.clone()).unwrap();
+        assert_eq!(st.productive_pairs(), fresh.productive_pairs());
+        assert_eq!(st.eq_weight(), fresh.eq_weight());
+        assert_eq!(st.rank_agents, fresh.rank_agents);
+        assert_eq!(st.extra_agents, fresh.extra_agents);
+        assert_eq!(st.extra_occupancy(), (2, 2));
+    }
+
+    /// Sparse-pair protocol: two rules on a 3-state space that fit no
+    /// structured class.
+    struct Sparse;
+    impl Protocol for Sparse {
+        fn name(&self) -> &str {
+            "sparse"
+        }
+        fn population_size(&self) -> usize {
+            4
+        }
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn num_rank_states(&self) -> usize {
+            3
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            match (i, r) {
+                (0, 1) => Some((0, 2)),
+                (2, 2) => Some((1, 2)),
+                _ => None,
+            }
+        }
+    }
+    impl InteractionSchema for Sparse {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::pair(0, 1), ClassSpec::pair(2, 2)]
+        }
+    }
+
+    #[test]
+    fn sparse_pair_weights_and_sampling() {
+        crate::protocol::validate_interaction_schema(&Sparse).unwrap();
+        let mut st = ClassState::new(&Sparse, vec![2, 1, 1]).unwrap();
+        // (0,1): 2·1 = 2; (2,2): 1·0 = 0.
+        assert_eq!(st.sparse_weight(), 2);
+        assert_eq!(st.productive_pairs(), 2);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        for _ in 0..20 {
+            assert_eq!(st.sample_pair(&mut rng), (0, 1));
+        }
+        // Move the state-1 agent to state 2: (0,1) dies, (2,2) lights up.
+        st.update_count(1, -1);
+        st.update_count(2, 1);
+        assert_eq!(st.sparse_weight(), 2); // c_2(c_2−1) = 2·1
+        for _ in 0..20 {
+            assert_eq!(st.sample_pair(&mut rng), (2, 2));
+        }
+    }
+
+    #[test]
+    fn compile_merges_single_direction_crosses() {
+        struct TwoDir;
+        impl Protocol for TwoDir {
+            fn name(&self) -> &str {
+                "two-dir"
+            }
+            fn population_size(&self) -> usize {
+                2
+            }
+            fn num_states(&self) -> usize {
+                3
+            }
+            fn num_rank_states(&self) -> usize {
+                2
+            }
+            fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+                let rank = |s: State| s < 2;
+                (rank(i) != rank(r)).then_some(if rank(i) { (i, 0) } else { (0, r) })
+            }
+        }
+        impl InteractionSchema for TwoDir {
+            fn interaction_classes(&self) -> Vec<ClassSpec> {
+                vec![
+                    ClassSpec::rank_extra(CrossDirection::RankInitiator),
+                    ClassSpec::rank_extra(CrossDirection::ExtraInitiator),
+                ]
+            }
+        }
+        crate::protocol::validate_interaction_schema(&TwoDir).unwrap();
+        let schema = CompiledSchema::compile(&TwoDir);
+        assert_eq!(schema.cross, Some(CrossDirection::Both));
+    }
+
+    #[test]
+    fn sample_pair_covers_every_class_in_proportion() {
+        let counts = vec![1, 2, 0, 0, 0, 0, 2, 1];
+        let st = ClassState::new(&AllClasses, counts.clone()).unwrap();
+        let w = st.productive_pairs();
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        let trials = 40_000u64;
+        let mut per_pair = std::collections::HashMap::new();
+        for _ in 0..trials {
+            *per_pair.entry(st.sample_pair(&mut rng)).or_insert(0u64) += 1;
+        }
+        for (&(a, b), &hits) in &per_pair {
+            assert!(AllClasses.transition(a, b).is_some(), "null pair ({a},{b}) sampled");
+            let expect = pair_weight(&counts, a, b) as f64 / w as f64;
+            let got = hits as f64 / trials as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "pair ({a},{b}): {got:.4} vs {expect:.4}"
+            );
+        }
+        let covered: u64 = per_pair
+            .keys()
+            .map(|&(a, b)| pair_weight(&counts, a, b))
+            .sum();
+        assert_eq!(covered, w, "every positive-weight pair must be reachable");
+    }
+}

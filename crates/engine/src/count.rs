@@ -15,31 +15,43 @@
 //!    the *identical* trajectory (the cross-engine test suite asserts
 //!    this).
 //! 2. **Batch mode** — far from silence, consecutive productive steps are
-//!    *statistically exchangeable*: with per-state weights `w_s = c_s(c_s −
-//!    1)`, a batch of `B` steps splits across states as a multinomial.
-//!    The batch is drawn in `O(occupied · log #states)` total — not `O(B)`
-//!    — by recursive **binomial splitting** down a complete binary weight
-//!    tree (the classic trick from batched population-protocol simulation,
-//!    cf. Berenbrink et al.), and all `B` null gaps are accounted at once
-//!    with a single negative-binomial draw. Weights are frozen for the
-//!    duration of one batch; the batch size is capped at
-//!    `W / (8·c_max)` so no state's weight can drift by more than ~25%
-//!    within a batch, which keeps the stabilisation-time distribution
-//!    statistically indistinguishable from the exact chain (KS-tested in
+//!    *statistically exchangeable*: with the class weights frozen, a batch
+//!    of `B` steps splits multinomially first across the declared
+//!    [`InteractionSchema`] classes, then within each class:
+//!
+//!    * **equal-rank** — per-state weights `c_s(c_s − 1)` split by
+//!      recursive **binomial splitting** down a complete binary weight
+//!      tree in `O(occupied)` binomial draws (the classic trick from
+//!      batched population-protocol simulation, cf. Berenbrink et al.);
+//!    * **extra–extra** — hierarchical split over ordered extra-state
+//!      pairs (`O(occupied extras²)` conditional binomials — extra spaces
+//!      are small by design, `O(log n)` for the tree protocol);
+//!    * **rank–extra cross** — direction, then extra state, then a
+//!      binomial split **across the rank population** via the occupancy
+//!      tree (this is the hypergeometric-style two-population split that
+//!      lets the line/tree reset phases batch);
+//!    * **sparse pairs** — one weight-tree split over the enumerated
+//!      pairs.
+//!
+//!    All `B` null gaps are accounted at once with a single
+//!    negative-binomial draw. Weights are frozen for the duration of one
+//!    batch; the batch size is capped so no class weight can drift by more
+//!    than ~25% within a batch (see [`CountSimulation::advance_chain`]),
+//!    which keeps the stabilisation-time distribution statistically
+//!    indistinguishable from the exact chain (KS-tested in
 //!    `tests/cross_simulator.rs`).
 //!
-//! Batch mode engages only while **all** productive weight lies in
-//! equal-rank pairs (`A_G` and the ring protocol always; the line/tree
-//! protocols whenever no agent occupies an extra state) and the safe batch
-//! size is large enough to pay for itself; otherwise the engine falls back
-//! to exact stepping for that step. Correctness near silence is therefore
-//! always the exact jump chain.
+//! Batch mode engages whenever every positive-weight class is declared
+//! exchangeable and the safe batch size is large enough to pay for the
+//! split overhead; otherwise the engine falls back to exact stepping for
+//! that step. Correctness near silence is therefore always the exact jump
+//! chain.
 //!
 //! # Examples
 //!
 //! ```
 //! use ssr_engine::count::CountSimulation;
-//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//! use ssr_engine::protocol::{ClassSpec, InteractionSchema, Protocol, State};
 //!
 //! struct Ag { n: usize }
 //! impl Protocol for Ag {
@@ -51,7 +63,11 @@
 //!         (i == r).then(|| (i, (r + 1) % self.n as State))
 //!     }
 //! }
-//! impl ProductiveClasses for Ag {}
+//! impl InteractionSchema for Ag {
+//!     fn interaction_classes(&self) -> Vec<ClassSpec> {
+//!         vec![ClassSpec::equal_rank()]
+//!     }
+//! }
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let p = Ag { n: 10_000 };
@@ -62,203 +78,35 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! [`InteractionSchema`]: crate::protocol::InteractionSchema
 
+use crate::classes::ClassState;
 use crate::engine::CountObserver;
 use crate::error::{ConfigError, StabilisationTimeout};
-use crate::fenwick::Fenwick;
 use crate::init;
-use crate::protocol::{ExtraRankCross, ProductiveClasses, State};
+use crate::protocol::{CrossDirection, InteractionSchema, State};
 use crate::rng::Xoshiro256;
 use crate::sim::StabilisationReport;
 
+pub use crate::classes::WeightTree;
+
 /// Below this safe batch size, batching cannot pay for its overhead and
-/// the engine steps exactly.
+/// the engine steps exactly. Classes with per-batch split overhead beyond
+/// `O(occupied)` (extra–extra, cross, sparse) raise the effective
+/// threshold to their overhead so a batch always amortises it.
 const MIN_BATCH: u64 = 64;
 
-/// After the safe batch size drops below [`MIN_BATCH`], stay in exact
+/// After the safe batch size drops below the threshold, stay in exact
 /// mode for this many steps before re-checking — the productive weight
-/// changes by O(c_max) per step, so eligibility cannot swing back
+/// changes by O(drift scale) per step, so eligibility cannot swing back
 /// instantly, and checking per step would tax the exact hot loop.
 const EXACT_RECHECK_INTERVAL: u32 = 32;
 
-/// At or below this many remaining draws, [`WeightTree::split`] switches
-/// from binomial splitting to direct weighted descends (cheaper in RNG
-/// draws, identical in distribution).
-const SPLIT_DIRECT_THRESHOLD: u64 = 8;
-
-/// Re-derive the exact maximum productive occupancy every this many
-/// batches (between refreshes the tracked bound is a safe over-estimate).
+/// Re-derive the exact maximum productive equal-rank occupancy every this
+/// many batches (between refreshes the tracked bound is a safe
+/// over-estimate).
 const MAX_REFRESH_INTERVAL: u32 = 32;
-
-/// Complete binary weight tree over `u64` weights: `O(log n)` point
-/// updates, `O(1)` totals, `O(log n)` weighted sampling, and — the reason
-/// it exists next to [`Fenwick`] — recursive multinomial **splitting** of a
-/// batch over all weighted slots in `O(occupied)` binomial draws.
-///
-/// `sample` maps a target offset to the slot containing it in prefix-sum
-/// order, exactly like [`Fenwick::sample`], so the two structures are
-/// interchangeable draw-for-draw.
-#[derive(Debug, Clone)]
-pub struct WeightTree {
-    /// Number of leaves (padded to a power of two).
-    size: usize,
-    /// Logical slot count.
-    len: usize,
-    /// 1-based heap layout; `tree[1]` is the root, leaves start at `size`.
-    tree: Vec<u64>,
-}
-
-impl WeightTree {
-    /// Tree of `len` zero weights.
-    pub fn new(len: usize) -> Self {
-        let size = len.next_power_of_two().max(1);
-        WeightTree {
-            size,
-            len,
-            tree: vec![0; 2 * size],
-        }
-    }
-
-    /// Number of slots.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// True if the tree has no slots.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Current weight at `index`.
-    #[inline]
-    pub fn weight(&self, index: usize) -> u64 {
-        self.tree[self.size + index]
-    }
-
-    /// Sum of all weights.
-    #[inline]
-    pub fn total(&self) -> u64 {
-        self.tree[1]
-    }
-
-    /// Set the weight at `index` to `value`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= len()`.
-    #[inline]
-    pub fn set(&mut self, index: usize, value: u64) {
-        assert!(index < self.len, "weight index out of range");
-        let mut node = self.size + index;
-        let old = self.tree[node];
-        if old == value {
-            return;
-        }
-        // Delta propagation: one read-modify-write per ancestor.
-        if value >= old {
-            let delta = value - old;
-            while node >= 1 {
-                self.tree[node] += delta;
-                node >>= 1;
-            }
-        } else {
-            let delta = old - value;
-            while node >= 1 {
-                self.tree[node] -= delta;
-                node >>= 1;
-            }
-        }
-    }
-
-    /// Slot containing offset `target` when weights are laid end to end
-    /// (identical mapping to [`Fenwick::sample`]).
-    ///
-    /// # Panics
-    ///
-    /// Debug-panics if `target >= total()`.
-    #[inline]
-    pub fn sample(&self, mut target: u64) -> usize {
-        debug_assert!(target < self.total(), "sample target out of range");
-        let mut node = 1usize;
-        while node < self.size {
-            let left = 2 * node;
-            if self.tree[left] > target {
-                node = left;
-            } else {
-                target -= self.tree[left];
-                node = left + 1;
-            }
-        }
-        node - self.size
-    }
-
-    /// Split a batch of `b` weighted draws across all slots: appends
-    /// `(slot, k_slot)` pairs with `Σ k_slot == b`, distributed
-    /// multinomially with probabilities proportional to slot weights.
-    ///
-    /// Implemented by recursive binomial splitting at each tree node, so
-    /// the cost is `O(occupied)` binomial draws rather than `O(b)` samples.
-    ///
-    /// # Panics
-    ///
-    /// Debug-panics if `b > 0` with zero total weight.
-    pub fn split(&self, b: u64, rng: &mut Xoshiro256, out: &mut Vec<(usize, u64)>) {
-        if b == 0 {
-            return;
-        }
-        debug_assert!(self.total() > 0, "cannot split over zero weight");
-        self.split_rec(1, b, rng, out);
-    }
-
-    fn split_rec(&self, node: usize, b: u64, rng: &mut Xoshiro256, out: &mut Vec<(usize, u64)>) {
-        if b == 0 {
-            return;
-        }
-        if node >= self.size {
-            out.push((node - self.size, b));
-            return;
-        }
-        if b <= SPLIT_DIRECT_THRESHOLD {
-            // Few draws left in this subtree: b direct weighted descends
-            // (one RNG draw each) beat a binomial per level. Identical in
-            // distribution — both are the multinomial over leaf weights.
-            let total = self.tree[node];
-            for _ in 0..b {
-                let mut target = rng.below(total);
-                let mut pos = node;
-                while pos < self.size {
-                    let left = 2 * pos;
-                    if self.tree[left] > target {
-                        pos = left;
-                    } else {
-                        target -= self.tree[left];
-                        pos = left + 1;
-                    }
-                }
-                let leaf = pos - self.size;
-                // Runs of the same leaf are coalesced opportunistically;
-                // duplicates across runs are harmless to the caller.
-                match out.last_mut() {
-                    Some((last, k)) if *last == leaf => *k += 1,
-                    _ => out.push((leaf, 1)),
-                }
-            }
-            return;
-        }
-        let left = 2 * node;
-        let wl = self.tree[left];
-        let wr = self.tree[left + 1];
-        let kl = if wr == 0 {
-            b
-        } else if wl == 0 {
-            0
-        } else {
-            rng.binomial(b, wl as f64 / (wl + wr) as f64)
-        };
-        self.split_rec(left, kl, rng, out);
-        self.split_rec(left + 1, b - kl, rng, out);
-    }
-}
 
 /// One coalesced group of identical rewrites applied by a batch step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -273,37 +121,26 @@ struct BatchGroup {
 /// Memory is `O(#states)` — there is no agent vector — so populations of
 /// `n = 10⁷…10⁹` fit comfortably as long as the protocol's state space
 /// does.
-pub struct CountSimulation<'a, P: ProductiveClasses + ?Sized> {
+pub struct CountSimulation<'a, P: InteractionSchema + ?Sized> {
     protocol: &'a P,
-    counts: Vec<u32>,
-    /// Per-rank-state productive weight `c(c−1)` where an equal-rank rule
-    /// exists.
-    eq: WeightTree,
-    /// Per-rank-state occupancy (for cross-pair sampling in exact mode).
-    rank_occ: Fenwick,
-    has_eq: Vec<bool>,
-    num_ranks: usize,
-    rank_agents: u64,
-    extra_agents: u64,
-    cross: ExtraRankCross,
-    xx_all: bool,
+    state: ClassState,
     interactions: u64,
     productive: u64,
     ordered_pairs: u64,
     rng: Xoshiro256,
     batching: bool,
-    /// Upper bound on the occupancy of any rank state with an equal-rank
-    /// rule; grows eagerly, shrinks on periodic refresh.
-    max_eq_count: u64,
     batches_since_refresh: u32,
     /// Exact steps to take before re-checking batch eligibility (0 =
     /// check now); keeps the check off the exact-mode hot path.
     exact_steps_until_recheck: u32,
     split_scratch: Vec<(usize, u64)>,
+    state_split_scratch: Vec<(State, u64)>,
+    state_split_scratch2: Vec<(State, u64)>,
+    key_scratch: Vec<((State, State), u64)>,
     group_scratch: Vec<BatchGroup>,
 }
 
-impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
+impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
     /// Start from an explicit configuration, with batching enabled.
     ///
     /// # Errors
@@ -334,57 +171,21 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
         seed: u64,
     ) -> Result<Self, ConfigError> {
         let n = protocol.population_size();
-        if counts.len() != protocol.num_states() {
-            return Err(ConfigError::WrongPopulation {
-                expected: protocol.num_states(),
-                got: counts.len(),
-            });
-        }
-        let total: u64 = counts.iter().map(|&c| c as u64).sum();
-        if total != n as u64 {
-            return Err(ConfigError::WrongPopulation {
-                expected: n,
-                got: total as usize,
-            });
-        }
-        let num_ranks = protocol.num_rank_states();
-        let has_eq: Vec<bool> = (0..num_ranks)
-            .map(|s| protocol.has_equal_rank_rule(s as State))
-            .collect();
-        let mut eq = WeightTree::new(num_ranks);
-        let mut rank_occ = Fenwick::new(num_ranks);
-        let mut rank_agents = 0u64;
-        let mut max_eq_count = 1u64;
-        for s in 0..num_ranks {
-            let c = counts[s] as u64;
-            rank_agents += c;
-            rank_occ.set(s, c);
-            if has_eq[s] {
-                eq.set(s, c * c.saturating_sub(1));
-                max_eq_count = max_eq_count.max(c);
-            }
-        }
-        let extra_agents = n as u64 - rank_agents;
+        let state = ClassState::new(protocol, counts)?;
         Ok(CountSimulation {
             protocol,
-            counts,
-            eq,
-            rank_occ,
-            has_eq,
-            num_ranks,
-            rank_agents,
-            extra_agents,
-            cross: protocol.extra_rank_cross(),
-            xx_all: protocol.extra_extra_all(),
+            state,
             interactions: 0,
             productive: 0,
             ordered_pairs: (n as u64) * (n as u64).saturating_sub(1),
             rng: Xoshiro256::seed_from_u64(seed),
             batching: true,
-            max_eq_count,
             batches_since_refresh: 0,
             exact_steps_until_recheck: 0,
             split_scratch: Vec::new(),
+            state_split_scratch: Vec::new(),
+            state_split_scratch2: Vec::new(),
+            key_scratch: Vec::new(),
             group_scratch: Vec::new(),
         })
     }
@@ -405,7 +206,7 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
 
     /// Current per-state occupancy counts.
     pub fn counts(&self) -> &[u32] {
-        &self.counts
+        &self.state.counts
     }
 
     /// Total interactions simulated (nulls included, exact in
@@ -426,7 +227,7 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
 
     /// Number of productive ordered pairs in the current configuration.
     pub fn productive_pairs(&self) -> u64 {
-        self.eq.total() + self.xx_weight() + self.cross_weight()
+        self.state.productive_pairs()
     }
 
     /// Silent iff no ordered pair is productive.
@@ -434,52 +235,15 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
         self.productive_pairs() == 0
     }
 
-    #[inline]
-    fn xx_weight(&self) -> u64 {
-        if self.xx_all {
-            self.extra_agents * self.extra_agents.saturating_sub(1)
-        } else {
-            0
-        }
-    }
-
-    #[inline]
-    fn cross_weight(&self) -> u64 {
-        match self.cross {
-            ExtraRankCross::None => 0,
-            ExtraRankCross::RankInitiatorOnly => self.rank_agents * self.extra_agents,
-            ExtraRankCross::Symmetric => 2 * self.rank_agents * self.extra_agents,
-        }
-    }
-
-    #[inline]
-    fn update_count(&mut self, s: State, delta: i64) {
-        let su = s as usize;
-        let c = (self.counts[su] as i64 + delta) as u32;
-        self.counts[su] = c;
-        if su < self.num_ranks {
-            self.rank_agents = (self.rank_agents as i64 + delta) as u64;
-            self.rank_occ.set(su, c as u64);
-            if self.has_eq[su] {
-                let c = c as u64;
-                self.eq.set(su, c * c.saturating_sub(1));
-                if c > self.max_eq_count {
-                    self.max_eq_count = c;
-                }
-            }
-        } else {
-            self.extra_agents = (self.extra_agents as i64 + delta) as u64;
-        }
-    }
-
     /// Execute one productive interaction (plus the geometric number of
     /// preceding nulls), exactly as the jump simulator would — the
-    /// sampling logic is literally shared (`pairsample`), so identical
-    /// RNG consumption and identical trajectories per seed are structural.
-    /// Returns the ordered state pair rewritten, or `None` if the
-    /// configuration is silent.
+    /// sampling logic is literally shared
+    /// ([`ClassState::sample_pair`](crate::classes::ClassState)), so
+    /// identical RNG consumption and identical trajectories per seed are
+    /// structural. Returns the ordered state pair rewritten, or `None` if
+    /// the configuration is silent.
     pub fn step_productive(&mut self) -> Option<((State, State), (State, State))> {
-        let w = self.productive_pairs();
+        let w = self.state.productive_pairs();
         if w == 0 {
             return None;
         }
@@ -488,61 +252,139 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
         self.interactions += self.rng.geometric(p) + 1;
         self.productive += 1;
 
-        let classes = crate::pairsample::PairClasses {
-            counts: &self.counts,
-            num_ranks: self.num_ranks,
-            rank_agents: self.rank_agents,
-            extra_agents: self.extra_agents,
-            cross: self.cross,
-            xx_all: self.xx_all,
-        };
-        let (si, sr) =
-            crate::pairsample::sample_pair(&classes, &self.eq, &self.rank_occ, &mut self.rng);
-
+        let (si, sr) = self.state.sample_pair(&mut self.rng);
         let (si2, sr2) = self.protocol.transition(si, sr).unwrap_or_else(|| {
             panic!(
-                "ProductiveClasses declared ({si},{sr}) productive but \
-                 transition returned None (protocol contract violation)"
+                "schema declared ({si},{sr}) productive but transition \
+                 returned None (protocol contract violation)"
             )
         });
         debug_assert!(si2 != si || sr2 != sr, "identity rewrite for ({si},{sr})");
         if si != si2 {
-            self.update_count(si, -1);
-            self.update_count(si2, 1);
+            self.state.update_count(si, -1);
+            self.state.update_count(si2, 1);
         }
         if sr != sr2 {
-            self.update_count(sr, -1);
-            self.update_count(sr2, 1);
+            self.state.update_count(sr, -1);
+            self.state.update_count(sr2, 1);
         }
         Some(((si, sr), (si2, sr2)))
     }
 
-    /// The safe batch size for the current configuration, or `None` when
-    /// productive weight is not purely equal-rank or the safe size is too
-    /// small to pay for itself.
-    fn batch_size(&mut self) -> Option<u64> {
-        let w = self.eq.total();
-        if w == 0 || self.xx_weight() != 0 || self.cross_weight() != 0 {
+    /// Largest per-state drain scale of the sparse-pair class: for every
+    /// involved state, the summed occupancy of its partners across all
+    /// enumerated pairs. Bounds how fast one state's occupancy (and hence
+    /// the class's weight profile) can drift per applied step.
+    fn sparse_partner_scale(&self) -> u64 {
+        let mut max = 1u64;
+        for (s, pair_ids) in self.state.schema.pairs_by_state.iter().enumerate() {
+            if pair_ids.is_empty() {
+                continue;
+            }
+            let mut sum = 0u64;
+            for &pi in pair_ids {
+                let (a, b) = self.state.schema.pairs[pi as usize];
+                if a == b {
+                    sum += 2 * (self.state.counts[s].saturating_sub(1)) as u64;
+                } else {
+                    let partner = if a as usize == s { b } else { a };
+                    sum += self.state.counts[partner as usize] as u64;
+                }
+            }
+            max = max.max(sum);
+        }
+        max
+    }
+
+    /// Drift scale and amortisation threshold of the current
+    /// configuration, or `None` when some positive-weight class is not
+    /// exchangeable. The safe batch size is `W / (8·scale)`: each class
+    /// weight then drifts by at most ~25% within a batch.
+    fn batch_params(&self, weights: [u64; 4]) -> Option<(u64, u64)> {
+        let [w_eq, w_xx, w_cross, w_sparse] = weights;
+        let schema = &self.state.schema;
+        if (w_eq > 0 && !schema.eq_exchangeable)
+            || (w_xx > 0 && !schema.xx_exchangeable)
+            || (w_cross > 0 && !schema.cross_exchangeable)
+            || (w_sparse > 0 && !schema.pairs_exchangeable)
+        {
             return None;
         }
-        if self.batches_since_refresh >= MAX_REFRESH_INTERVAL {
-            self.refresh_max_eq_count();
+        let mut scale = 1u64;
+        let mut threshold = MIN_BATCH;
+        if w_eq > 0 {
+            // Per-state expected draws capped at (c_s − 1)/8.
+            scale = scale.max(self.state.max_eq_bound);
         }
-        // Cap the expected per-state draw at (c_s − 1)/8: weights drift by
-        // at most ~25% within a batch and clipping is a tail event.
-        let b = w / (8 * self.max_eq_count.max(1));
-        if b >= MIN_BATCH {
+        if w_xx > 0 || w_cross > 0 {
+            let (occ_x, _c_max_x) = self.state.extra_occupancy();
+            if w_xx > 0 {
+                // A draw's two participants are uniform over the extra
+                // population, so every extra state's occupancy drifts at
+                // the same *relative* rate regardless of its own size:
+                // capping expected xx draws at E/32 (scale 4(E−1), since
+                // W_xx = E(E−1)) bounds each level's drift at ~6%. The
+                // buffer epidemic grows exponentially, which amplifies
+                // frozen-weight drift — hence the tighter rein than the
+                // equal-rank class.
+                scale = scale.max(4 * self.state.extra_agents.saturating_sub(1).max(1));
+                threshold = threshold.max((occ_x * occ_x) as u64);
+            }
+            if w_cross > 0 {
+                // W_cross = dirs·R·E: capping expected cross draws at
+                // min(R, E)/16 means b ≤ W/(8·2·dirs·max(R, E)). Cross
+                // draws feed the same exponential reset epidemic, so they
+                // get the same tight rein as extra–extra.
+                let dirs = self
+                    .state
+                    .schema
+                    .cross
+                    .map_or(1, CrossDirection::multiplier);
+                scale = scale.max(2 * dirs * self.state.rank_agents.max(self.state.extra_agents));
+                threshold = threshold.max(2 * occ_x as u64);
+            }
+        }
+        if w_sparse > 0 {
+            scale = scale.max(2 * self.sparse_partner_scale());
+            threshold = threshold.max(schema.pairs.len() as u64);
+        }
+        Some((scale, threshold))
+    }
+
+    /// The safe batch size for the current configuration, or `None` when
+    /// a positive-weight class is not exchangeable or the safe size is too
+    /// small to pay for itself.
+    fn batch_size(&mut self) -> Option<u64> {
+        let weights = [
+            self.state.eq_weight(),
+            self.state.xx_weight(),
+            self.state.cross_weight(),
+            self.state.sparse_weight(),
+        ];
+        let w: u64 = weights.iter().sum();
+        if w == 0 {
+            return None;
+        }
+        if weights[0] > 0 && self.batches_since_refresh >= MAX_REFRESH_INTERVAL {
+            self.state.refresh_max_eq();
+            self.batches_since_refresh = 0;
+        }
+        let (scale, threshold) = self.batch_params(weights)?;
+        let b = w / (8 * scale);
+        if b >= threshold {
             return Some(b);
         }
-        // The tracked bound only grows between refreshes, so a stale-high
-        // value could disable batching permanently. If a fresh bound could
-        // possibly change the verdict, refresh once before giving up
-        // (`batches_since_refresh > 0` caps this at one rescue scan per
-        // run of batches).
-        if self.batches_since_refresh > 0 && w / 8 >= MIN_BATCH {
-            self.refresh_max_eq_count();
-            let b = w / (8 * self.max_eq_count.max(1));
-            if b >= MIN_BATCH {
+        // The tracked equal-rank bound only grows between refreshes, so a
+        // stale-high value could disable batching permanently. If a fresh
+        // bound could possibly change the verdict, refresh once before
+        // giving up (`batches_since_refresh > 0` caps this at one rescue
+        // scan per run of batches).
+        if weights[0] > 0 && self.batches_since_refresh > 0 && w / 8 >= threshold {
+            self.state.refresh_max_eq();
+            self.batches_since_refresh = 0;
+            let (scale, threshold) = self.batch_params(weights)?;
+            let b = w / (8 * scale);
+            if b >= threshold {
                 return Some(b);
             }
         }
@@ -566,73 +408,264 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
         None
     }
 
-    fn refresh_max_eq_count(&mut self) {
-        self.batches_since_refresh = 0;
-        let mut max = 1u64;
-        for s in 0..self.num_ranks {
-            if self.has_eq[s] {
-                max = max.max(self.counts[s] as u64);
+    /// Split `k` draws across `items` (slot, weight) by chained
+    /// conditional binomials — together a multinomial over the weights.
+    /// Appends `(slot, draws)` for every slot that received draws.
+    fn chain_split(
+        rng: &mut Xoshiro256,
+        mut k: u64,
+        total: u64,
+        items: impl Iterator<Item = (State, u64)>,
+        out: &mut Vec<(State, u64)>,
+    ) {
+        let mut w_rem = total;
+        for (slot, w) in items {
+            if k == 0 {
+                break;
+            }
+            if w == 0 {
+                continue;
+            }
+            let draws = if w >= w_rem {
+                k
+            } else {
+                rng.binomial(k, w as f64 / w_rem as f64)
+            };
+            if draws > 0 {
+                out.push((slot, draws));
+            }
+            k -= draws;
+            w_rem -= w;
+        }
+        debug_assert_eq!(k, 0, "chain split left draws unassigned");
+    }
+
+    /// Collect the coalesced rewrite keys of one batch of `b` steps, with
+    /// all weights frozen at the current configuration, into
+    /// `self.key_scratch`. No counts are mutated.
+    fn collect_batch_keys(&mut self, b: u64, weights: [u64; 4]) {
+        let [w_eq, w_xx, w_cross, w_sparse] = weights;
+        let w = w_eq + w_xx + w_cross + w_sparse;
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        keys.clear();
+
+        // Multinomial split of the batch across the four classes.
+        let mut rem = b;
+        let mut w_rem = w;
+        let mut class_draw = |cls_w: u64, rng: &mut Xoshiro256| -> u64 {
+            if cls_w == 0 || rem == 0 {
+                w_rem -= cls_w;
+                return 0;
+            }
+            let k = if cls_w >= w_rem {
+                rem
+            } else {
+                rng.binomial(rem, cls_w as f64 / w_rem as f64)
+            };
+            rem -= k;
+            w_rem -= cls_w;
+            k
+        };
+        let k_eq = class_draw(w_eq, &mut self.rng);
+        let k_xx = class_draw(w_xx, &mut self.rng);
+        let k_cross = class_draw(w_cross, &mut self.rng);
+        let k_sparse = class_draw(w_sparse, &mut self.rng);
+        debug_assert_eq!(k_eq + k_xx + k_cross + k_sparse, b);
+
+        // Equal-rank: tree split over per-state weights.
+        if k_eq > 0 {
+            let mut split = std::mem::take(&mut self.split_scratch);
+            split.clear();
+            self.state.eq.split(k_eq, &mut self.rng, &mut split);
+            for &(s, k) in &split {
+                keys.push(((s as State, s as State), k));
+            }
+            self.split_scratch = split;
+        }
+
+        let num_ranks = self.state.num_ranks;
+        let num_states = self.state.counts.len();
+        let e_total = self.state.extra_agents;
+
+        // Extra–extra: hierarchical split — initiator extra state (weight
+        // c·(E−1), i.e. ∝ c), then responder extra state (weight c minus
+        // one when sharing the initiator's state).
+        if k_xx > 0 {
+            let mut initiators = std::mem::take(&mut self.state_split_scratch);
+            initiators.clear();
+            Self::chain_split(
+                &mut self.rng,
+                k_xx,
+                e_total,
+                (num_ranks..num_states).map(|s| (s as State, self.state.counts[s] as u64)),
+                &mut initiators,
+            );
+            let mut responders = std::mem::take(&mut self.state_split_scratch2);
+            for &(e1, k1) in &initiators {
+                responders.clear();
+                Self::chain_split(
+                    &mut self.rng,
+                    k1,
+                    e_total - 1,
+                    (num_ranks..num_states).map(|s| {
+                        let c = self.state.counts[s] as u64;
+                        (s as State, if s == e1 as usize { c - 1 } else { c })
+                    }),
+                    &mut responders,
+                );
+                for &(e2, k2) in &responders {
+                    keys.push(((e1, e2), k2));
+                }
+            }
+            self.state_split_scratch = initiators;
+            self.state_split_scratch2 = responders;
+        }
+
+        // Rank–extra cross: direction, then extra state (∝ c_e), then the
+        // rank-population split via the occupancy tree.
+        if k_cross > 0 {
+            let dir = self.state.schema.cross.expect("cross weight without class");
+            let (k_rank_init, k_extra_init) = match dir {
+                CrossDirection::RankInitiator => (k_cross, 0),
+                CrossDirection::ExtraInitiator => (0, k_cross),
+                CrossDirection::Both => {
+                    let k = self.rng.binomial(k_cross, 0.5);
+                    (k, k_cross - k)
+                }
+            };
+            for (k_dir, extra_initiates) in [(k_rank_init, false), (k_extra_init, true)] {
+                if k_dir == 0 {
+                    continue;
+                }
+                let mut extras = std::mem::take(&mut self.state_split_scratch);
+                extras.clear();
+                Self::chain_split(
+                    &mut self.rng,
+                    k_dir,
+                    e_total,
+                    (num_ranks..num_states).map(|s| (s as State, self.state.counts[s] as u64)),
+                    &mut extras,
+                );
+                for &(e, k_e) in &extras {
+                    let mut split = std::mem::take(&mut self.split_scratch);
+                    split.clear();
+                    self.state.rank_occ.split(k_e, &mut self.rng, &mut split);
+                    for &(r, k_re) in &split {
+                        let r = r as State;
+                        keys.push((if extra_initiates { (e, r) } else { (r, e) }, k_re));
+                    }
+                    self.split_scratch = split;
+                }
+                self.state_split_scratch = extras;
             }
         }
-        self.max_eq_count = max;
+
+        // Sparse pairs: one tree split over the enumerated pairs.
+        if k_sparse > 0 {
+            let mut split = std::mem::take(&mut self.split_scratch);
+            split.clear();
+            self.state.sparse.split(k_sparse, &mut self.rng, &mut split);
+            for &(pi, k) in &split {
+                keys.push((self.state.schema.pairs[pi], k));
+            }
+            self.split_scratch = split;
+        }
+
+        self.key_scratch = keys;
+    }
+
+    /// Apply one coalesced group of `k` identical `before` rewrites,
+    /// clipping `k` so every application finds its participants (the
+    /// weights were frozen at batch start, so the tail of a group can
+    /// outrun the supply of agents). Returns the group actually applied.
+    fn apply_group(&mut self, before: (State, State), k: u64) -> Option<BatchGroup> {
+        let (a, b) = before;
+        let (a2, b2) = self.protocol.transition(a, b).unwrap_or_else(|| {
+            panic!(
+                "schema declared ({a},{b}) productive but transition \
+                 returned None (protocol contract violation)"
+            )
+        });
+        debug_assert!(a2 != a || b2 != b, "identity rewrite for ({a},{b})");
+        // Per-application occupancy deltas over the (≤ 4) involved states.
+        let mut deltas = [(0 as State, 0i64); 4];
+        let mut len = 0usize;
+        for (s, d) in [(a, -1i64), (b, -1), (a2, 1), (b2, 1)] {
+            match deltas[..len].iter_mut().find(|e| e.0 == s) {
+                Some(e) => e.1 += d,
+                None => {
+                    deltas[len] = (s, d);
+                    len += 1;
+                }
+            }
+        }
+        // Clip: state a needs `2` agents per application when a == b,
+        // else one agent in each of a and b; draining states bound the
+        // group length.
+        let mut kmax = k;
+        for &(s, d) in &deltas[..len] {
+            if s != a && s != b {
+                continue;
+            }
+            let need: u64 = if a == b { 2 } else { 1 };
+            let c = self.state.counts[s as usize] as u64;
+            if c < need {
+                kmax = 0;
+                break;
+            }
+            if d < 0 {
+                kmax = kmax.min((c - need) / ((-d) as u64) + 1);
+            }
+        }
+        let k = kmax.min(k);
+        if k == 0 {
+            return None;
+        }
+        for &(s, d) in &deltas[..len] {
+            if d != 0 {
+                self.state.update_count(s, d * k as i64);
+            }
+        }
+        Some(BatchGroup {
+            before,
+            after: (a2, b2),
+            applied: k,
+        })
     }
 
     /// Execute one batch of `b` statistically-exchangeable productive
     /// steps with frozen weights. Returns the number actually applied
-    /// (≥ 1; per-state clipping can shave the tail).
+    /// (≥ 1; per-group clipping can shave the tail).
     fn step_batch(&mut self, b: u64) -> u64 {
-        let w = self.eq.total();
+        let weights = [
+            self.state.eq_weight(),
+            self.state.xx_weight(),
+            self.state.cross_weight(),
+            self.state.sparse_weight(),
+        ];
+        let w: u64 = weights.iter().sum();
         let p = w as f64 / self.ordered_pairs as f64;
         self.batches_since_refresh += 1;
 
-        let mut split = std::mem::take(&mut self.split_scratch);
-        split.clear();
-        self.eq.split(b, &mut self.rng, &mut split);
+        // Phase 1: sample every coalesced rewrite key with frozen weights.
+        self.collect_batch_keys(b, weights);
 
+        // Phase 2: apply the groups in collection order, clipping tails.
+        let keys = std::mem::take(&mut self.key_scratch);
         let mut groups = std::mem::take(&mut self.group_scratch);
         groups.clear();
         let mut applied_total = 0u64;
-        for &(s, k) in &split {
-            let s = s as State;
-            let (a, b2) = self.protocol.transition(s, s).unwrap_or_else(|| {
-                panic!(
-                    "ProductiveClasses declared ({s},{s}) productive but \
-                     transition returned None (protocol contract violation)"
-                )
-            });
-            // The weights were frozen at batch start; clip the group so the
-            // state keeps enough agents for every applied interaction.
-            let c = self.counts[s as usize] as u64;
-            let slack = if a == s || b2 == s {
-                c.saturating_sub(1)
-            } else {
-                c / 2
-            };
-            let k = k.min(slack);
-            if k == 0 {
-                continue;
+        for &(before, k) in &keys {
+            if let Some(group) = self.apply_group(before, k) {
+                applied_total += group.applied;
+                groups.push(group);
             }
-            let kd = k as i64;
-            if a != s {
-                self.update_count(s, -kd);
-                self.update_count(a, kd);
-            }
-            if b2 != s {
-                self.update_count(s, -kd);
-                self.update_count(b2, kd);
-            }
-            applied_total += k;
-            groups.push(BatchGroup {
-                before: (s, s),
-                after: (a, b2),
-                applied: k,
-            });
         }
         debug_assert!(applied_total > 0, "batch applied nothing despite W > 0");
         self.productive += applied_total;
         self.interactions += applied_total + self.rng.neg_binomial(applied_total, p);
 
-        self.split_scratch = split;
+        self.key_scratch = keys;
         self.group_scratch = groups;
         applied_total
     }
@@ -721,7 +754,7 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
                             g.before,
                             g.after,
                             g.applied,
-                            &self.counts,
+                            &self.state.counts,
                         );
                     }
                     self.group_scratch = groups;
@@ -733,7 +766,7 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
                             before,
                             after,
                             1,
-                            &self.counts,
+                            &self.state.counts,
                         );
                     }
                 }
@@ -750,20 +783,24 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
     /// Panics if `from` is unoccupied or either state id is out of range.
     pub fn inject_fault(&mut self, from: State, to: State) {
         assert!(
-            (from as usize) < self.counts.len() && (to as usize) < self.counts.len(),
+            (from as usize) < self.state.counts.len()
+                && (to as usize) < self.state.counts.len(),
             "state out of range"
         );
-        assert!(self.counts[from as usize] > 0, "state {from} is unoccupied");
+        assert!(
+            self.state.counts[from as usize] > 0,
+            "state {from} is unoccupied"
+        );
         if from == to {
             return;
         }
-        self.update_count(from, -1);
-        self.update_count(to, 1);
+        self.state.update_count(from, -1);
+        self.state.update_count(to, 1);
     }
 
     /// Consume the simulation and return the final occupancy counts.
     pub fn into_counts(self) -> Vec<u32> {
-        self.counts
+        self.state.counts
     }
 
     pub(crate) fn rng_clone(&self) -> Xoshiro256 {
@@ -790,7 +827,7 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
         // Cross-engine snapshots carry none — the canonical state computed
         // by `from_counts` is used instead.
         if let Some(ctl) = ctl {
-            fresh.max_eq_count = ctl.max_eq_count;
+            fresh.state.max_eq_bound = ctl.max_eq_count;
             fresh.batches_since_refresh = ctl.batches_since_refresh;
             fresh.exact_steps_until_recheck = ctl.exact_steps_until_recheck;
         }
@@ -798,7 +835,7 @@ impl<'a, P: ProductiveClasses + ?Sized> CountSimulation<'a, P> {
     }
 }
 
-impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for CountSimulation<'_, P> {
+impl<P: InteractionSchema + ?Sized> crate::engine::Engine for CountSimulation<'_, P> {
     fn engine_name(&self) -> &'static str {
         "count"
     }
@@ -808,7 +845,7 @@ impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for CountSimulation<'_
     }
 
     fn counts(&self) -> &[u32] {
-        &self.counts
+        &self.state.counts
     }
 
     fn interactions(&self) -> u64 {
@@ -851,12 +888,12 @@ impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for CountSimulation<'_
     fn snapshot(&self) -> crate::engine::EngineSnapshot {
         crate::engine::EngineSnapshot {
             agents: None,
-            counts: self.counts.clone(),
+            counts: self.state.counts.clone(),
             interactions: self.interactions,
             productive: self.productive,
             rng: self.rng_clone(),
             count_ctl: Some(crate::engine::CountControl {
-                max_eq_count: self.max_eq_count,
+                max_eq_count: self.state.max_eq_bound,
                 batches_since_refresh: self.batches_since_refresh,
                 exact_steps_until_recheck: self.exact_steps_until_recheck,
             }),
@@ -874,7 +911,7 @@ impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for CountSimulation<'_
     }
 }
 
-impl<P: ProductiveClasses + ?Sized> std::fmt::Debug for CountSimulation<'_, P> {
+impl<P: InteractionSchema + ?Sized> std::fmt::Debug for CountSimulation<'_, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CountSimulation")
             .field("protocol", &self.protocol.name())
@@ -891,7 +928,7 @@ impl<P: ProductiveClasses + ?Sized> std::fmt::Debug for CountSimulation<'_, P> {
 mod tests {
     use super::*;
     use crate::jump::JumpSimulation;
-    use crate::protocol::Protocol;
+    use crate::protocol::{ClassSpec, Protocol};
 
     struct Ag {
         n: usize,
@@ -917,70 +954,9 @@ mod tests {
             }
         }
     }
-    impl ProductiveClasses for Ag {}
-
-    #[test]
-    fn weight_tree_matches_reference() {
-        let weights = [3u64, 0, 5, 1, 0, 0, 9, 2, 4, 0, 1];
-        let mut t = WeightTree::new(weights.len());
-        for (i, &w) in weights.iter().enumerate() {
-            t.set(i, w);
-        }
-        assert_eq!(t.total(), weights.iter().sum::<u64>());
-        assert_eq!(t.weight(6), 9);
-        let mut offset = 0u64;
-        for (i, &w) in weights.iter().enumerate() {
-            if w > 0 {
-                assert_eq!(t.sample(offset), i, "slot start {i}");
-                assert_eq!(t.sample(offset + w - 1), i, "slot end {i}");
-                offset += w;
-            }
-        }
-    }
-
-    #[test]
-    fn weight_tree_sample_agrees_with_fenwick() {
-        let mut t = WeightTree::new(37);
-        let mut f = Fenwick::new(37);
-        let mut rng = Xoshiro256::seed_from_u64(3);
-        for i in 0..37 {
-            let w = rng.below(9);
-            t.set(i, w);
-            f.set(i, w);
-        }
-        assert_eq!(t.total(), f.total());
-        for target in 0..t.total() {
-            assert_eq!(t.sample(target), f.sample(target), "target {target}");
-        }
-    }
-
-    #[test]
-    fn weight_tree_split_conserves_and_tracks_weights() {
-        let mut t = WeightTree::new(16);
-        for (i, w) in [(0usize, 100u64), (3, 300), (7, 500), (15, 100)] {
-            t.set(i, w);
-        }
-        let mut rng = Xoshiro256::seed_from_u64(5);
-        let mut totals = [0u64; 16];
-        let b = 1000;
-        let rounds = 200;
-        for _ in 0..rounds {
-            let mut out = Vec::new();
-            t.split(b, &mut rng, &mut out);
-            assert_eq!(out.iter().map(|&(_, k)| k).sum::<u64>(), b);
-            for (i, k) in out {
-                assert!(t.weight(i) > 0, "slot {i} drawn with zero weight");
-                totals[i] += k;
-            }
-        }
-        // Expected proportions 0.1 / 0.3 / 0.5 / 0.1 within a few percent.
-        let grand = (b * rounds) as f64;
-        for (i, expect) in [(0usize, 0.1), (3, 0.3), (7, 0.5), (15, 0.1)] {
-            let got = totals[i] as f64 / grand;
-            assert!(
-                (got - expect).abs() < 0.02,
-                "slot {i}: {got:.3} vs {expect}"
-            );
+    impl InteractionSchema for Ag {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::equal_rank()]
         }
     }
 
@@ -1131,7 +1107,7 @@ mod tests {
 
     #[test]
     fn stale_max_count_bound_cannot_disable_batching_permanently() {
-        // Start stacked so max_eq_count is learned high, let the mass
+        // Start stacked so max_eq_bound is learned high, let the mass
         // disperse, then verify batches keep firing once the true maximum
         // has dropped (the rescue refresh in batch_size).
         let p = Ag { n: 8192 };
@@ -1166,5 +1142,162 @@ mod tests {
             s.run_until_silent(u64::MAX).unwrap().interactions
         };
         assert_eq!(run(31), run(31));
+    }
+
+    /// A multi-class protocol (equal-rank + extra–extra + symmetric cross,
+    /// tree-protocol shaped): the generalised batch mode must engage on
+    /// the extra classes and still conserve agents and reach silence.
+    struct Multi {
+        n: usize,
+        x: usize,
+    }
+    impl Multi {
+        fn extra(&self, i: usize) -> State {
+            (self.n + i) as State
+        }
+    }
+    impl Protocol for Multi {
+        fn name(&self) -> &str {
+            "multi"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.n + self.x
+        }
+        fn num_rank_states(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            let nr = self.n as State;
+            match (i < nr, r < nr) {
+                (true, true) => (i == r).then(|| {
+                    if (r as usize) + 1 == self.n {
+                        (self.extra(0), self.extra(0))
+                    } else {
+                        (i, r + 1)
+                    }
+                }),
+                // Buffer epidemic: both agents climb to min+1, or re-enter
+                // the root from the top buffer state.
+                (false, false) => {
+                    let low = i.min(r) as usize - self.n;
+                    if low + 1 >= self.x {
+                        Some((0, 0))
+                    } else {
+                        let up = self.extra(low + 1);
+                        Some((up, up))
+                    }
+                }
+                // Cross: the buffered agent re-enters at the root.
+                (true, false) => Some((i, 0)),
+                (false, true) => Some((0, r)),
+            }
+        }
+    }
+    impl InteractionSchema for Multi {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![
+                ClassSpec::equal_rank(),
+                ClassSpec::extra_extra(),
+                ClassSpec::rank_extra(crate::protocol::CrossDirection::Both),
+            ]
+        }
+    }
+
+    #[test]
+    fn multi_class_schema_validates() {
+        crate::protocol::validate_interaction_schema(&Multi { n: 9, x: 3 }).unwrap();
+    }
+
+    #[test]
+    fn multi_class_batches_extra_classes_and_conserves() {
+        let n = 6000;
+        let p = Multi { n, x: 4 };
+        // Adversarial start: everyone buffered at the bottom extra state —
+        // all productive weight is extra–extra, none equal-rank.
+        let start = vec![p.extra(0); n];
+        let mut sim = CountSimulation::new(&p, start, 21).unwrap();
+        let first = sim.advance_chain().unwrap();
+        assert!(
+            first >= MIN_BATCH,
+            "extra–extra start must batch, applied {first}"
+        );
+        while sim.advance_chain().is_some() {
+            assert_eq!(
+                sim.counts().iter().map(|&c| c as u64).sum::<u64>(),
+                n as u64
+            );
+        }
+        assert!(sim.is_silent());
+        assert!(sim.counts()[..n].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn multi_class_batched_mean_matches_exact_chain() {
+        let n = 600;
+        let p = Multi { n, x: 4 };
+        let trials = 40u64;
+        let mean = |batching: bool| -> f64 {
+            (0..trials)
+                .map(|t| {
+                    let mut s = CountSimulation::new(&p, vec![p.extra(0); n], 7000 + t)
+                        .unwrap()
+                        .with_batching(batching);
+                    s.run_until_silent(u64::MAX).unwrap().interactions as f64
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let batched = mean(true);
+        let exact = mean(false);
+        let rel = (batched - exact).abs() / exact;
+        assert!(
+            rel < 0.1,
+            "batched mean {batched:.0} vs exact mean {exact:.0} ({rel:.3})"
+        );
+    }
+
+    /// Declaring a class non-exchangeable must force exact stepping
+    /// whenever it has weight, and the run must still be trace-identical
+    /// to the jump chain per seed.
+    struct Frozen {
+        n: usize,
+    }
+    impl Protocol for Frozen {
+        fn name(&self) -> &str {
+            "frozen"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_rank_states(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            (i == r).then(|| (i, (r + 1) % self.n as State))
+        }
+    }
+    impl InteractionSchema for Frozen {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::equal_rank().non_exchangeable()]
+        }
+    }
+
+    #[test]
+    fn non_exchangeable_class_forces_exact_stepping() {
+        let p = Frozen { n: 4096 };
+        let mut count = CountSimulation::new(&p, vec![0; 4096], 19).unwrap();
+        let mut jump = JumpSimulation::new(&p, vec![0; 4096], 19).unwrap();
+        for _ in 0..5_000 {
+            assert_eq!(count.advance_chain(), Some(1));
+            jump.step_productive();
+        }
+        assert_eq!(count.interactions(), jump.interactions());
+        assert_eq!(count.counts(), jump.counts());
     }
 }

@@ -11,9 +11,12 @@
 //! | [`CountSimulation`](crate::count::CountSimulation) (`count`) | `O(#states)` | amortised sub-productive-interaction stepping via batching | `n = 10⁶…10⁹`, far-from-silent regimes |
 //!
 //! The trait is object-safe, so experiment drivers can select an engine at
-//! runtime (`--engine naive|jump|count` in the CLI) and treat all three
-//! uniformly: stepping, running to silence with a cap, count-level observer
-//! hooks, transient-fault injection, and snapshot/restore.
+//! runtime (`--engine auto|naive|jump|count` in the CLI) and treat all
+//! three uniformly: stepping, running to silence with a cap, count-level
+//! observer hooks, transient-fault injection, and snapshot/restore.
+//! [`EngineKind::Auto`] picks the count engine at large `n` and the jump
+//! engine below, per protocol instance — heterogeneous sweeps get the
+//! right engine at every grid point.
 //!
 //! # Examples
 //!
@@ -21,7 +24,7 @@
 //! use ssr_engine::engine::Engine;
 //! use ssr_engine::count::CountSimulation;
 //! use ssr_engine::jump::JumpSimulation;
-//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//! use ssr_engine::protocol::{ClassSpec, InteractionSchema, Protocol, State};
 //!
 //! struct Ag { n: usize }
 //! impl Protocol for Ag {
@@ -33,7 +36,11 @@
 //!         (i == r).then(|| (i, (r + 1) % self.n as State))
 //!     }
 //! }
-//! impl ProductiveClasses for Ag {}
+//! impl InteractionSchema for Ag {
+//!     fn interaction_classes(&self) -> Vec<ClassSpec> {
+//!         vec![ClassSpec::equal_rank()]
+//!     }
+//! }
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let p = Ag { n: 64 };
@@ -269,9 +276,13 @@ pub trait Engine {
 }
 
 /// Which engine backs a run — the string form is accepted by the CLI and
-/// the trial runner.
+/// the [`Scenario`](crate::runner::Scenario) runner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
+    /// Pick per protocol instance: [`Count`](EngineKind::Count) for
+    /// populations of at least [`EngineKind::AUTO_COUNT_THRESHOLD`],
+    /// [`Jump`](EngineKind::Jump) below. The runner's default.
+    Auto,
     /// Step-by-step simulation over an agent vector.
     Naive,
     /// Exact null-skipping jump chain over counts.
@@ -281,21 +292,30 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// All kinds, in documentation order.
+    /// All concrete kinds, in documentation order ([`Auto`] resolves to
+    /// one of these and is deliberately excluded).
+    ///
+    /// [`Auto`]: EngineKind::Auto
     pub const ALL: [EngineKind; 3] = [EngineKind::Naive, EngineKind::Jump, EngineKind::Count];
 
-    /// Parse `"naive"`, `"jump"` or `"count"`.
+    /// Population size from which [`Auto`](EngineKind::Auto) prefers the
+    /// count engine: below it the jump engine's lower per-step constant
+    /// wins, above it batching dominates.
+    pub const AUTO_COUNT_THRESHOLD: usize = 4096;
+
+    /// Parse `"auto"`, `"naive"`, `"jump"` or `"count"`.
     ///
     /// # Errors
     ///
     /// Returns a descriptive message for anything else.
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
+            "auto" => Ok(EngineKind::Auto),
             "naive" => Ok(EngineKind::Naive),
             "jump" => Ok(EngineKind::Jump),
             "count" => Ok(EngineKind::Count),
             other => Err(format!(
-                "unknown engine '{other}' (expected naive|jump|count)"
+                "unknown engine '{other}' (expected auto|naive|jump|count)"
             )),
         }
     }
@@ -303,9 +323,25 @@ impl EngineKind {
     /// The canonical name (`parse` round-trips it).
     pub fn name(self) -> &'static str {
         match self {
+            EngineKind::Auto => "auto",
             EngineKind::Naive => "naive",
             EngineKind::Jump => "jump",
             EngineKind::Count => "count",
+        }
+    }
+
+    /// Resolve [`Auto`](EngineKind::Auto) for a population of size `n`;
+    /// concrete kinds resolve to themselves.
+    pub fn resolve(self, n: usize) -> EngineKind {
+        match self {
+            EngineKind::Auto => {
+                if n >= Self::AUTO_COUNT_THRESHOLD {
+                    EngineKind::Count
+                } else {
+                    EngineKind::Jump
+                }
+            }
+            concrete => concrete,
         }
     }
 }
@@ -316,7 +352,8 @@ impl std::fmt::Display for EngineKind {
     }
 }
 
-/// Build a boxed engine of the requested kind over a shared protocol.
+/// Build a boxed engine of the requested kind over a shared protocol
+/// ([`EngineKind::Auto`] resolves against the protocol's population size).
 ///
 /// # Errors
 ///
@@ -328,9 +365,10 @@ pub fn make_engine<'a, P>(
     seed: u64,
 ) -> Result<Box<dyn Engine + 'a>, crate::error::ConfigError>
 where
-    P: crate::protocol::ProductiveClasses + ?Sized + 'a,
+    P: crate::protocol::InteractionSchema + ?Sized + 'a,
 {
-    Ok(match kind {
+    Ok(match kind.resolve(protocol.population_size()) {
+        EngineKind::Auto => unreachable!("resolve returns a concrete kind"),
         EngineKind::Naive => Box::new(crate::sim::Simulation::new(protocol, config, seed)?),
         EngineKind::Jump => Box::new(crate::jump::JumpSimulation::new(protocol, config, seed)?),
         EngineKind::Count => {
@@ -342,7 +380,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{ProductiveClasses, Protocol};
+    use crate::protocol::{ClassSpec, InteractionSchema, Protocol};
 
     struct Ag {
         n: usize,
@@ -368,15 +406,43 @@ mod tests {
             }
         }
     }
-    impl ProductiveClasses for Ag {}
+    impl InteractionSchema for Ag {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::equal_rank()]
+        }
+    }
 
     #[test]
     fn kind_parse_round_trips() {
-        for kind in EngineKind::ALL {
+        for kind in EngineKind::ALL.into_iter().chain([EngineKind::Auto]) {
             assert_eq!(EngineKind::parse(kind.name()).unwrap(), kind);
             assert_eq!(format!("{kind}"), kind.name());
         }
         assert!(EngineKind::parse("warp").is_err());
+    }
+
+    #[test]
+    fn auto_resolves_by_population_size() {
+        let t = EngineKind::AUTO_COUNT_THRESHOLD;
+        assert_eq!(EngineKind::Auto.resolve(t - 1), EngineKind::Jump);
+        assert_eq!(EngineKind::Auto.resolve(t), EngineKind::Count);
+        for kind in EngineKind::ALL {
+            assert_eq!(kind.resolve(1), kind);
+            assert_eq!(kind.resolve(1 << 30), kind);
+        }
+    }
+
+    #[test]
+    fn factory_resolves_auto() {
+        let small = Ag { n: 24 };
+        let e = make_engine(EngineKind::Auto, &small, vec![0; 24], 3).unwrap();
+        assert_eq!(e.engine_name(), "jump");
+        let big = Ag {
+            n: EngineKind::AUTO_COUNT_THRESHOLD,
+        };
+        let cfg = vec![0; big.n];
+        let e = make_engine(EngineKind::Auto, &big, cfg, 3).unwrap();
+        assert_eq!(e.engine_name(), "count");
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!
 //! ```
 //! use ssr_engine::faults::{recovery_after_faults, RecoveryReport};
-//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//! use ssr_engine::protocol::{ClassSpec, InteractionSchema, Protocol, State};
 //!
 //! struct Ag { n: usize }
 //! impl Protocol for Ag {
@@ -34,7 +34,11 @@
 //!         (i == r).then(|| (i, (r + 1) % self.n as State))
 //!     }
 //! }
-//! impl ProductiveClasses for Ag {}
+//! impl InteractionSchema for Ag {
+//!     fn interaction_classes(&self) -> Vec<ClassSpec> {
+//!         vec![ClassSpec::equal_rank()]
+//!     }
+//! }
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let report: RecoveryReport = recovery_after_faults(&Ag { n: 32 }, 4, 7, u64::MAX)?;
@@ -46,7 +50,7 @@
 
 use crate::error::StabilisationTimeout;
 use crate::jump::JumpSimulation;
-use crate::protocol::ProductiveClasses;
+use crate::protocol::InteractionSchema;
 use crate::rng::Xoshiro256;
 use crate::sim::StabilisationReport;
 
@@ -129,7 +133,7 @@ pub struct RecoveryReport {
 ///
 /// Panics if the protocol violates the ranking contract shape (rank
 /// states ≠ population).
-pub fn recovery_after_faults<P: ProductiveClasses + ?Sized>(
+pub fn recovery_after_faults<P: InteractionSchema + ?Sized>(
     protocol: &P,
     faults: usize,
     seed: u64,
@@ -162,7 +166,7 @@ pub fn recovery_after_faults<P: ProductiveClasses + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{Protocol, State};
+    use crate::protocol::{ClassSpec, Protocol, State};
 
     struct Ag {
         n: usize,
@@ -188,7 +192,11 @@ mod tests {
             }
         }
     }
-    impl ProductiveClasses for Ag {}
+    impl InteractionSchema for Ag {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::equal_rank()]
+        }
+    }
 
     #[test]
     fn perturb_conserves_agents() {

@@ -12,20 +12,14 @@
 //! The simulator needs to know the total number of productive ordered pairs
 //! `W(C)` in the current configuration `C` and to sample one uniformly.
 //! Protocols declare their productive-pair structure via
-//! [`ProductiveClasses`]; `W` decomposes as
-//!
-//! ```text
-//! W = Σ_s c_s(c_s − 1)·[equal-rank rule at s]      (Fenwick tree)
-//!   + E(E − 1)·[all extra–extra pairs productive]
-//!   + R·E·(0 | 1 | 2)                              (rank–extra cross)
-//! ```
-//!
-//! where `R`/`E` are the numbers of agents in rank/extra states.
+//! [`InteractionSchema`]; the engine compiles the declared classes once and
+//! keeps all per-class weights incrementally up to date (see
+//! [`crate::classes`] for the weight decomposition).
 //!
 //! # Examples
 //!
 //! ```
-//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//! use ssr_engine::protocol::{ClassSpec, InteractionSchema, Protocol, State};
 //! use ssr_engine::jump::JumpSimulation;
 //!
 //! struct Ag { n: usize }
@@ -38,7 +32,11 @@
 //!         (i == r).then(|| (i, (r + 1) % self.n as State))
 //!     }
 //! }
-//! impl ProductiveClasses for Ag {}
+//! impl InteractionSchema for Ag {
+//!     fn interaction_classes(&self) -> Vec<ClassSpec> {
+//!         vec![ClassSpec::equal_rank()]
+//!     }
+//! }
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let p = Ag { n: 64 };
@@ -50,10 +48,10 @@
 //! # }
 //! ```
 
+use crate::classes::ClassState;
 use crate::error::{ConfigError, StabilisationTimeout};
-use crate::fenwick::Fenwick;
 use crate::init;
-use crate::protocol::{ExtraRankCross, ProductiveClasses, State};
+use crate::protocol::{InteractionSchema, State};
 use crate::rng::Xoshiro256;
 use crate::sim::StabilisationReport;
 
@@ -61,27 +59,16 @@ use crate::sim::StabilisationReport;
 ///
 /// Operates on the (anonymous) counts representation: agents are
 /// indistinguishable, so the multiset of states is the full configuration.
-pub struct JumpSimulation<'a, P: ProductiveClasses + ?Sized> {
+pub struct JumpSimulation<'a, P: InteractionSchema + ?Sized> {
     protocol: &'a P,
-    counts: Vec<u32>,
-    /// Per-rank-state productive weight `c(c−1)` where an equal-rank rule
-    /// exists.
-    eq: Fenwick,
-    /// Per-rank-state occupancy `c` (for cross-pair sampling).
-    rank_occ: Fenwick,
-    has_eq: Vec<bool>,
-    num_ranks: usize,
-    rank_agents: u64,
-    extra_agents: u64,
-    cross: ExtraRankCross,
-    xx_all: bool,
+    state: ClassState,
     interactions: u64,
     productive: u64,
     ordered_pairs: u64,
     rng: Xoshiro256,
 }
 
-impl<'a, P: ProductiveClasses + ?Sized> JumpSimulation<'a, P> {
+impl<'a, P: InteractionSchema + ?Sized> JumpSimulation<'a, P> {
     /// Start from an explicit configuration.
     ///
     /// # Errors
@@ -115,56 +102,20 @@ impl<'a, P: ProductiveClasses + ?Sized> JumpSimulation<'a, P> {
         seed: u64,
     ) -> Result<Self, ConfigError> {
         let n = protocol.population_size();
-        if counts.len() != protocol.num_states() {
-            return Err(ConfigError::WrongPopulation {
-                expected: protocol.num_states(),
-                got: counts.len(),
-            });
-        }
-        let total: u64 = counts.iter().map(|&c| c as u64).sum();
-        if total != n as u64 {
-            return Err(ConfigError::WrongPopulation {
-                expected: n,
-                got: total as usize,
-            });
-        }
-        let num_ranks = protocol.num_rank_states();
-        let has_eq: Vec<bool> = (0..num_ranks)
-            .map(|s| protocol.has_equal_rank_rule(s as State))
-            .collect();
-        let mut eq = Fenwick::new(num_ranks);
-        let mut rank_occ = Fenwick::new(num_ranks);
-        let mut rank_agents = 0u64;
-        for s in 0..num_ranks {
-            let c = counts[s] as u64;
-            rank_agents += c;
-            rank_occ.set(s, c);
-            if has_eq[s] {
-                eq.set(s, c * c.saturating_sub(1));
-            }
-        }
-        let extra_agents = n as u64 - rank_agents;
+        let state = ClassState::new(protocol, counts)?;
         Ok(JumpSimulation {
             protocol,
-            counts,
-            eq,
-            rank_occ,
-            has_eq,
-            num_ranks,
-            rank_agents,
-            extra_agents,
-            cross: protocol.extra_rank_cross(),
-            xx_all: protocol.extra_extra_all(),
+            state,
             interactions: 0,
             productive: 0,
-            ordered_pairs: (n as u64) * (n as u64 - 1),
+            ordered_pairs: (n as u64) * (n as u64).saturating_sub(1),
             rng: Xoshiro256::seed_from_u64(seed),
         })
     }
 
     /// Current per-state occupancy counts.
     pub fn counts(&self) -> &[u32] {
-        &self.counts
+        &self.state.counts
     }
 
     /// Total interactions simulated (nulls included, counted exactly).
@@ -184,7 +135,7 @@ impl<'a, P: ProductiveClasses + ?Sized> JumpSimulation<'a, P> {
 
     /// Number of productive ordered pairs in the current configuration.
     pub fn productive_pairs(&self) -> u64 {
-        self.eq.total() + self.xx_weight() + self.cross_weight()
+        self.state.productive_pairs()
     }
 
     /// Silent iff no ordered pair is productive.
@@ -192,46 +143,11 @@ impl<'a, P: ProductiveClasses + ?Sized> JumpSimulation<'a, P> {
         self.productive_pairs() == 0
     }
 
-    #[inline]
-    fn xx_weight(&self) -> u64 {
-        if self.xx_all {
-            self.extra_agents * self.extra_agents.saturating_sub(1)
-        } else {
-            0
-        }
-    }
-
-    #[inline]
-    fn cross_weight(&self) -> u64 {
-        match self.cross {
-            ExtraRankCross::None => 0,
-            ExtraRankCross::RankInitiatorOnly => self.rank_agents * self.extra_agents,
-            ExtraRankCross::Symmetric => 2 * self.rank_agents * self.extra_agents,
-        }
-    }
-
-    #[inline]
-    fn update_count(&mut self, s: State, delta: i64) {
-        let su = s as usize;
-        let c = (self.counts[su] as i64 + delta) as u32;
-        self.counts[su] = c;
-        if su < self.num_ranks {
-            self.rank_agents = (self.rank_agents as i64 + delta) as u64;
-            self.rank_occ.set(su, c as u64);
-            if self.has_eq[su] {
-                let c = c as u64;
-                self.eq.set(su, c * c.saturating_sub(1));
-            }
-        } else {
-            self.extra_agents = (self.extra_agents as i64 + delta) as u64;
-        }
-    }
-
     /// Execute one productive interaction (plus the geometric number of
     /// preceding nulls). Returns the ordered state pair rewritten, or
     /// `None` if the configuration is silent.
     pub fn step_productive(&mut self) -> Option<((State, State), (State, State))> {
-        let w = self.productive_pairs();
+        let w = self.state.productive_pairs();
         if w == 0 {
             return None;
         }
@@ -240,34 +156,24 @@ impl<'a, P: ProductiveClasses + ?Sized> JumpSimulation<'a, P> {
         self.interactions += self.rng.geometric(p) + 1;
         self.productive += 1;
 
-        let classes = crate::pairsample::PairClasses {
-            counts: &self.counts,
-            num_ranks: self.num_ranks,
-            rank_agents: self.rank_agents,
-            extra_agents: self.extra_agents,
-            cross: self.cross,
-            xx_all: self.xx_all,
-        };
-        let (si, sr) =
-            crate::pairsample::sample_pair(&classes, &self.eq, &self.rank_occ, &mut self.rng);
-
+        let (si, sr) = self.state.sample_pair(&mut self.rng);
         let (si2, sr2) = self
             .protocol
             .transition(si, sr)
             .unwrap_or_else(|| {
                 panic!(
-                    "ProductiveClasses declared ({si},{sr}) productive but \
-                     transition returned None (protocol contract violation)"
+                    "schema declared ({si},{sr}) productive but transition \
+                     returned None (protocol contract violation)"
                 )
             });
         debug_assert!(si2 != si || sr2 != sr, "identity rewrite for ({si},{sr})");
         if si != si2 {
-            self.update_count(si, -1);
-            self.update_count(si2, 1);
+            self.state.update_count(si, -1);
+            self.state.update_count(si2, 1);
         }
         if sr != sr2 {
-            self.update_count(sr, -1);
-            self.update_count(sr2, 1);
+            self.state.update_count(sr, -1);
+            self.state.update_count(sr2, 1);
         }
         Some(((si, sr), (si2, sr2)))
     }
@@ -315,24 +221,28 @@ impl<'a, P: ProductiveClasses + ?Sized> JumpSimulation<'a, P> {
     /// Panics if `from` is unoccupied or either state id is out of range.
     pub fn inject_fault(&mut self, from: State, to: State) {
         assert!(
-            (from as usize) < self.counts.len() && (to as usize) < self.counts.len(),
+            (from as usize) < self.state.counts.len()
+                && (to as usize) < self.state.counts.len(),
             "state out of range"
         );
-        assert!(self.counts[from as usize] > 0, "state {from} is unoccupied");
+        assert!(
+            self.state.counts[from as usize] > 0,
+            "state {from} is unoccupied"
+        );
         if from == to {
             return;
         }
-        self.update_count(from, -1);
-        self.update_count(to, 1);
+        self.state.update_count(from, -1);
+        self.state.update_count(to, 1);
     }
 
     /// Consume the simulation and return the final occupancy counts.
     pub fn into_counts(self) -> Vec<u32> {
-        self.counts
+        self.state.counts
     }
 }
 
-impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for JumpSimulation<'_, P> {
+impl<P: InteractionSchema + ?Sized> crate::engine::Engine for JumpSimulation<'_, P> {
     fn engine_name(&self) -> &'static str {
         "jump"
     }
@@ -342,7 +252,7 @@ impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for JumpSimulation<'_,
     }
 
     fn counts(&self) -> &[u32] {
-        &self.counts
+        &self.state.counts
     }
 
     fn interactions(&self) -> u64 {
@@ -394,7 +304,13 @@ impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for JumpSimulation<'_,
                 });
             }
             if let Some((before, after)) = self.step_productive() {
-                observer.on_productive(self.interactions, before, after, 1, &self.counts);
+                observer.on_productive(
+                    self.interactions,
+                    before,
+                    after,
+                    1,
+                    &self.state.counts,
+                );
             }
         }
     }
@@ -406,7 +322,7 @@ impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for JumpSimulation<'_,
     fn snapshot(&self) -> crate::engine::EngineSnapshot {
         crate::engine::EngineSnapshot {
             agents: None,
-            counts: self.counts.clone(),
+            counts: self.state.counts.clone(),
             interactions: self.interactions,
             productive: self.productive,
             rng: self.rng.clone(),
@@ -425,7 +341,7 @@ impl<P: ProductiveClasses + ?Sized> crate::engine::Engine for JumpSimulation<'_,
     }
 }
 
-impl<P: ProductiveClasses + ?Sized> std::fmt::Debug for JumpSimulation<'_, P> {
+impl<P: InteractionSchema + ?Sized> std::fmt::Debug for JumpSimulation<'_, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JumpSimulation")
             .field("protocol", &self.protocol.name())
@@ -440,7 +356,7 @@ impl<P: ProductiveClasses + ?Sized> std::fmt::Debug for JumpSimulation<'_, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::Protocol;
+    use crate::protocol::{ClassSpec, Protocol};
     use crate::sim::Simulation;
 
     struct Ag {
@@ -467,7 +383,11 @@ mod tests {
             }
         }
     }
-    impl ProductiveClasses for Ag {}
+    impl InteractionSchema for Ag {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::equal_rank()]
+        }
+    }
 
     #[test]
     fn stabilises_to_perfect_ranking() {
@@ -559,5 +479,48 @@ mod tests {
             JumpSimulation::from_counts(&p, vec![3, 2, 1, 0, 0, 0], 1).unwrap();
         // 3·2 + 2·1 = 8 productive ordered pairs.
         assert_eq!(sim.productive_pairs(), 8);
+    }
+
+    /// A sparse-pair protocol runs on the jump engine end to end: rule
+    /// (0,1) → (0,2) drains state 1, rule (2,2) → (1,2) refills it; from
+    /// [2,2,0] the chain must reach the silent support [2,0,2]... which is
+    /// not all-distinct — this is a non-ranking protocol, silence simply
+    /// means no productive pair remains.
+    struct Sparse;
+    impl Protocol for Sparse {
+        fn name(&self) -> &str {
+            "sparse"
+        }
+        fn population_size(&self) -> usize {
+            4
+        }
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn num_rank_states(&self) -> usize {
+            3
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            match (i, r) {
+                (0, 1) => Some((0, 2)),
+                _ => None,
+            }
+        }
+    }
+    impl InteractionSchema for Sparse {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::pair(0, 1)]
+        }
+    }
+
+    #[test]
+    fn sparse_pair_protocol_runs_to_silence() {
+        crate::protocol::validate_interaction_schema(&Sparse).unwrap();
+        let p = Sparse;
+        let mut sim = JumpSimulation::from_counts(&p, vec![2, 2, 0], 7).unwrap();
+        assert_eq!(sim.productive_pairs(), 4); // 2·2 ordered (0,1) pairs
+        let rep = sim.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(rep.productive_interactions, 2);
+        assert_eq!(sim.counts(), &[2, 0, 2]);
     }
 }

@@ -9,38 +9,58 @@
 //! the protocol's deterministic transition function. *Parallel time* is the
 //! number of interactions divided by `n`.
 //!
+//! ## The interaction schema
+//!
+//! One declarative contract connects protocols to engines: a protocol
+//! implements [`InteractionSchema`](protocol::InteractionSchema) by
+//! enumerating its productive **interaction classes** — equal-rank pairs,
+//! all extra–extra pairs, rank–extra cross pairs by direction, plus an
+//! escape hatch of enumerated sparse pairs — each with a weight formula
+//! over occupancy counts and an exchangeability flag. The same schema
+//! drives exact null-skipping (which pairs can fire and with what weight),
+//! per-class batching (which classes may be executed as multinomially
+//! split batches), and exhaustive validation
+//! ([`protocol::validate_interaction_schema`]).
+//!
 //! ## The engine hierarchy
 //!
 //! Three interchangeable engines simulate the identical stochastic process
 //! behind the unified [`Engine`](engine::Engine) trait (select one at
-//! runtime with [`engine::make_engine`] or `--engine naive|jump|count` in
-//! the CLI):
+//! runtime with [`engine::EngineKind`] — `Auto` resolves per population
+//! size — through the [`Scenario`](runner::Scenario) builder,
+//! [`engine::make_engine`], or `--engine auto|naive|jump|count` in the
+//! CLI):
 //!
 //! | Engine | Memory | Cost model | Use when |
 //! |--------|--------|-----------|----------|
 //! | [`Simulation`] (`naive`) | `O(n)` agent vector | O(1) per *interaction*, nulls included | small `n`; agent-level observers; external [`Scheduler`]s |
 //! | [`JumpSimulation`] (`jump`) | `O(#states)` counts | O(log #states) per *productive* interaction; nulls skipped exactly | long runs near silence; `n ≲ 10⁶` |
-//! | [`CountSimulation`] (`count`) | `O(#states)` counts | amortised **sub-productive-interaction**: far from silence a whole batch of exchangeable steps costs O(occupied) binomial draws | `n = 10⁶…10⁹`; scale experiments |
+//! | [`CountSimulation`] (`count`) | `O(#states)` counts | amortised **sub-productive-interaction**: far from silence a whole batch of exchangeable steps costs O(occupied) binomial draws, across *every* exchangeable class | `n = 10⁶…10⁹`; scale experiments |
 //!
 //! The naive engine is the literal model — use it as ground truth and for
 //! anything that needs agent identities. The jump engine simulates the
 //! embedded chain of productive interactions with geometric null gaps —
 //! *exactly* the same process, orders of magnitude faster once the
 //! configuration approaches silence. The count engine additionally batches
-//! statistically-exchangeable productive steps via binomial splitting when
-//! far from silence and falls back to exact jump-chain stepping (same RNG
+//! statistically-exchangeable productive steps via per-class multinomial
+//! splitting when far from silence — equal-rank mass through a binary
+//! weight tree, extra–extra and rank–extra mass through two-population
+//! splits — and falls back to exact jump-chain stepping (same RNG
 //! consumption, identical per-seed trajectory) near silence; its
 //! stabilisation-time distribution is KS-indistinguishable from the other
 //! two (asserted in `tests/cross_simulator.rs`).
 //!
 //! ## Components
 //!
-//! * [`protocol`] — the [`Protocol`](protocol::Protocol) trait, the ranking
-//!   contract, and the [`ProductiveClasses`](protocol::ProductiveClasses)
-//!   declaration that enables exact null-skipping.
+//! * [`protocol`] — the [`Protocol`](protocol::Protocol) trait, the
+//!   declarative [`InteractionSchema`](protocol::InteractionSchema), the
+//!   ranking contract, and the schema validators.
 //! * [`engine`] — the unified [`Engine`](engine::Engine) trait: stepping,
 //!   run-to-silence, count-level observers, fault injection,
-//!   snapshot/restore, and the engine factory.
+//!   snapshot/restore, and the engine factory with `Auto` selection.
+//! * [`runner`] — the [`Scenario`](runner::Scenario) builder: protocol +
+//!   engine + init family + faults + trials, run in parallel with
+//!   deterministic seeding.
 //! * [`sim`] — the naive step-by-step simulator with observer hooks.
 //! * [`jump`] — the exact jump-chain simulator (skips null interactions,
 //!   same stochastic process, orders of magnitude faster near silence).
@@ -48,14 +68,13 @@
 //!   amortised sub-interaction stepping far from silence).
 //! * [`init`] — initial-configuration generators (`k`-distant, uniform
 //!   random, stacked, …).
-//! * [`runner`] — parallel multi-trial driver with deterministic seeding.
 //! * [`observer`] — invariant checkers and time-series recorders.
 //! * [`rng`], [`fenwick`] — deterministic RNG and weighted sampling.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use ssr_engine::protocol::{Protocol, ProductiveClasses, State};
+//! use ssr_engine::protocol::{ClassSpec, InteractionSchema, Protocol, State};
 //! use ssr_engine::jump::JumpSimulation;
 //!
 //! /// The generic state-optimal ranking protocol A_G.
@@ -69,7 +88,11 @@
 //!         (i == r).then(|| (i, (r + 1) % self.n as State))
 //!     }
 //! }
-//! impl ProductiveClasses for Ag {}
+//! impl InteractionSchema for Ag {
+//!     fn interaction_classes(&self) -> Vec<ClassSpec> {
+//!         vec![ClassSpec::equal_rank()]
+//!     }
+//! }
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let protocol = Ag { n: 100 };
@@ -83,6 +106,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod classes;
 pub mod count;
 pub mod engine;
 pub mod error;
@@ -91,7 +115,6 @@ pub mod fenwick;
 pub mod init;
 pub mod jump;
 pub mod observer;
-mod pairsample;
 pub mod protocol;
 pub mod rng;
 pub mod runner;
@@ -103,7 +126,12 @@ pub use engine::{make_engine, CountObserver, Engine, EngineKind, EngineSnapshot}
 pub use error::{ConfigError, StabilisationTimeout};
 pub use faults::{perturb_counts, rank_distance, recovery_after_faults, RecoveryReport};
 pub use jump::JumpSimulation;
-pub use protocol::{ExtraRankCross, ProductiveClasses, Protocol, State};
-pub use runner::{run_trials, Backend, TrialConfig, TrialResults};
+pub use protocol::{
+    validate_interaction_schema, ClassSpec, CrossDirection, InteractionClass, InteractionSchema,
+    Protocol, State,
+};
+pub use runner::{run_trials, Init, Scenario, TrialConfig, TrialResults};
+#[allow(deprecated)]
+pub use runner::Backend;
 pub use schedule::{ClusteredScheduler, Scheduler, UniformScheduler, ZipfScheduler};
 pub use sim::{Simulation, StabilisationReport};

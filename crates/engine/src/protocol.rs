@@ -1,4 +1,5 @@
-//! The population-protocol abstraction.
+//! The population-protocol abstraction and the declarative
+//! interaction-class schema.
 //!
 //! A protocol is a finite state space plus a deterministic transition
 //! function on *ordered* pairs of states. In each step of the probabilistic
@@ -7,13 +8,41 @@
 //! their states are rewritten by [`Protocol::transition`]. *Parallel time*
 //! is interactions divided by `n`.
 //!
+//! # The interaction schema
+//!
+//! The fast engines (`jump`, `count`) never sample null interactions: they
+//! need to know the exact set of *productive* ordered state pairs, its
+//! total weight under the current occupancy counts, and which parts of it
+//! can be batched. Protocols declare this once, declaratively, through
+//! [`InteractionSchema::interaction_classes`]: a list of [`ClassSpec`]s,
+//! each naming one [`InteractionClass`] with an exchangeability flag.
+//!
+//! The four class shapes, with their weight formulas over the occupancy
+//! counts `c_s` (writing `R`/`E` for the number of agents in rank/extra
+//! states):
+//!
+//! | Class | Covers | Weight |
+//! |-------|--------|--------|
+//! | [`EqualRank`] | ordered pairs of two agents in the same rank state `s`, for every `s` with [`equal_rank_rule`]`(s)` | `Σ_s c_s(c_s − 1)` |
+//! | [`ExtraExtra`] | every ordered pair of two agents in extra states | `E(E − 1)` |
+//! | [`RankExtra`] | every mixed (rank, extra) ordered pair in the given [`CrossDirection`] | `R·E` per direction |
+//! | [`Pair`] | one enumerated ordered state pair `(a, b)` — the escape hatch for protocols whose rules fit none of the above | `c_a·c_b` (or `c_a(c_a − 1)` if `a = b`) |
+//!
+//! The declaration must be **exact** (a pair is productive iff exactly one
+//! declared class covers it) and classes must not overlap;
+//! [`validate_interaction_schema`] checks both exhaustively against the
+//! transition function for small instances and is used throughout the test
+//! suites. One schema drives everything downstream: exact productive-pair
+//! sampling in the jump engine, per-class batching in the count engine, and
+//! the validators.
+//!
 //! # The ranking contract
 //!
-//! Every protocol in this workspace solves the **ranking problem**: the
-//! state space is `n` *rank states* (ids `0..num_rank_states`) plus `x`
-//! *extra states* (ids `num_rank_states..num_states`), and the protocol must
-//! silently stabilise with each of the `n` agents in a distinct rank state.
-//! Implementations must uphold:
+//! Every *ranking* protocol in this workspace solves the ranking problem:
+//! the state space is `n` *rank states* (ids `0..num_rank_states`) plus `x`
+//! *extra states* (ids `num_rank_states..num_states`), and the protocol
+//! must silently stabilise with each of the `n` agents in a distinct rank
+//! state. Implementations must uphold:
 //!
 //! 1. `transition` returns `Some` **only** when at least one of the two
 //!    agents actually changes state (no-op rewrites must return `None`);
@@ -22,14 +51,24 @@
 //! 3. the number of agents is conserved by every rule (trivially true here:
 //!    rules rewrite exactly the two participants).
 //!
-//! [`validate_ranking_contract`] checks 1–2 exhaustively for small instances
-//! and is used throughout the test suites.
+//! [`validate_ranking_contract`] checks 1–2 exhaustively for small
+//! instances. Non-ranking protocols (e.g. loosely-stabilising leader
+//! election) can still implement [`InteractionSchema`] — typically through
+//! the [`Pair`] escape hatch — and run on every engine; they simply never
+//! satisfy the ranking contract's silence shape.
+//!
+//! [`EqualRank`]: InteractionClass::EqualRank
+//! [`ExtraExtra`]: InteractionClass::ExtraExtra
+//! [`RankExtra`]: InteractionClass::RankExtra
+//! [`Pair`]: InteractionClass::Pair
+//! [`equal_rank_rule`]: InteractionSchema::equal_rank_rule
 
 /// Dense state identifier. Rank states come first (`0..num_rank_states`),
 /// extra states after.
 pub type State = u32;
 
-/// A population protocol for the ranking problem.
+/// A population protocol: a finite state space and a deterministic
+/// transition function on ordered state pairs.
 ///
 /// # Examples
 ///
@@ -87,75 +126,211 @@ pub trait Protocol {
     }
 }
 
-/// How extra states interact with rank states, as seen by the jump-chain
-/// simulator (see [`ProductiveClasses`]).
+/// Direction(s) in which mixed (rank, extra) ordered pairs are productive,
+/// for the [`InteractionClass::RankExtra`] class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ExtraRankCross {
-    /// No (rank, extra) ordered pair is ever productive.
-    None,
-    /// Exactly the pairs with the **rank agent as initiator** and the extra
-    /// agent as responder are productive (all of them).
-    RankInitiatorOnly,
-    /// Every ordered pair of one rank agent and one extra agent is
-    /// productive, in both orders.
-    Symmetric,
+pub enum CrossDirection {
+    /// Only pairs with the **rank agent as initiator** are productive.
+    RankInitiator,
+    /// Only pairs with the **extra agent as initiator** are productive.
+    ExtraInitiator,
+    /// Every mixed ordered pair is productive, in both orders.
+    Both,
 }
 
-/// Declares the exact set of *productive* ordered state pairs so that the
-/// jump-chain simulator ([`crate::jump::JumpSimulation`]) can skip null
-/// interactions without sampling them.
+impl CrossDirection {
+    /// Number of productive orderings per unordered mixed agent pair
+    /// (1 or 2) — the multiplier in the class weight `dirs·R·E`.
+    pub fn multiplier(self) -> u64 {
+        match self {
+            CrossDirection::RankInitiator | CrossDirection::ExtraInitiator => 1,
+            CrossDirection::Both => 2,
+        }
+    }
+}
+
+/// One declarative productive interaction class (see the module docs for
+/// the coverage and weight of each shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InteractionClass {
+    /// Ordered pairs of two agents in the same rank state `s`, for every
+    /// rank state with [`InteractionSchema::equal_rank_rule`].
+    EqualRank,
+    /// Every ordered pair of two agents in extra states.
+    ExtraExtra,
+    /// Every mixed (rank, extra) ordered pair in the given direction(s).
+    RankExtra(CrossDirection),
+    /// One explicitly enumerated ordered state pair — the escape hatch for
+    /// rule structures the three shapes above cannot express. A pair must
+    /// not also be covered by another declared class.
+    Pair {
+        /// Initiator state of the enumerated pair.
+        initiator: State,
+        /// Responder state of the enumerated pair.
+        responder: State,
+    },
+}
+
+/// An [`InteractionClass`] plus its batching contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassSpec {
+    /// The class shape.
+    pub class: InteractionClass,
+    /// Whether consecutive productive draws from this class are
+    /// statistically exchangeable under frozen weights, i.e. whether the
+    /// count engine may execute them as one multinomially-split batch.
+    /// True for every memoryless rewrite (all protocols in this
+    /// workspace); declare `false` via [`ClassSpec::non_exchangeable`] for
+    /// rules whose effect depends on interleaving with other classes.
+    pub exchangeable: bool,
+}
+
+impl ClassSpec {
+    /// The [`InteractionClass::EqualRank`] class, exchangeable.
+    pub fn equal_rank() -> Self {
+        ClassSpec {
+            class: InteractionClass::EqualRank,
+            exchangeable: true,
+        }
+    }
+
+    /// The [`InteractionClass::ExtraExtra`] class, exchangeable.
+    pub fn extra_extra() -> Self {
+        ClassSpec {
+            class: InteractionClass::ExtraExtra,
+            exchangeable: true,
+        }
+    }
+
+    /// An [`InteractionClass::RankExtra`] class, exchangeable.
+    pub fn rank_extra(direction: CrossDirection) -> Self {
+        ClassSpec {
+            class: InteractionClass::RankExtra(direction),
+            exchangeable: true,
+        }
+    }
+
+    /// An enumerated [`InteractionClass::Pair`], exchangeable.
+    pub fn pair(initiator: State, responder: State) -> Self {
+        ClassSpec {
+            class: InteractionClass::Pair {
+                initiator,
+                responder,
+            },
+            exchangeable: true,
+        }
+    }
+
+    /// Mark this class as **not** batchable: the count engine falls back
+    /// to exact stepping whenever the class has positive weight.
+    pub fn non_exchangeable(mut self) -> Self {
+        self.exchangeable = false;
+        self
+    }
+}
+
+/// Declares the exact set of *productive* ordered state pairs as a list of
+/// weight classes, so the fast engines can skip null interactions, sample
+/// productive pairs by weight, and batch exchangeable classes.
 ///
-/// The declaration must be exact:
+/// The declaration must be exact and non-overlapping:
 ///
 /// * an ordered pair of agents in the **same rank state** `s` is productive
-///   iff [`has_equal_rank_rule`]`(s)`;
-/// * an ordered pair of two agents in **extra states** (equal or not) is
-///   productive iff [`extra_extra_all`]` == true` (all such pairs) and never
-///   otherwise;
-/// * ordered (rank, extra) mixed pairs follow [`extra_rank_cross`];
-/// * an ordered pair of agents in **distinct rank states** is never
-///   productive.
+///   iff [`EqualRank`](InteractionClass::EqualRank) is declared and
+///   [`equal_rank_rule`](Self::equal_rank_rule)`(s)` holds;
+/// * an ordered pair of two agents in **extra states** is productive iff
+///   [`ExtraExtra`](InteractionClass::ExtraExtra) is declared, or the exact
+///   state pair is enumerated as a [`Pair`](InteractionClass::Pair);
+/// * mixed (rank, extra) ordered pairs follow the declared
+///   [`RankExtra`](InteractionClass::RankExtra) direction(s) or enumerated
+///   pairs;
+/// * any other ordered pair is productive iff enumerated as a
+///   [`Pair`](InteractionClass::Pair);
+/// * no pair may be covered by two declared classes.
 ///
-/// All four protocols in `ssr-core` fit this shape, which is what makes a
-/// generic exact-jump simulator possible. [`validate_productive_classes`]
-/// cross-checks a declaration against [`Protocol::transition`] exhaustively.
+/// [`validate_interaction_schema`] cross-checks a declaration against
+/// [`Protocol::transition`] exhaustively.
 ///
-/// [`has_equal_rank_rule`]: ProductiveClasses::has_equal_rank_rule
-/// [`extra_extra_all`]: ProductiveClasses::extra_extra_all
-/// [`extra_rank_cross`]: ProductiveClasses::extra_rank_cross
-pub trait ProductiveClasses: Protocol {
-    /// Whether two agents meeting in rank state `s` interact productively.
+/// # Examples
+///
+/// ```
+/// use ssr_engine::protocol::{ClassSpec, InteractionSchema, Protocol, State};
+///
+/// struct Ag { n: usize }
+/// impl Protocol for Ag {
+///     fn name(&self) -> &str { "A_G" }
+///     fn population_size(&self) -> usize { self.n }
+///     fn num_states(&self) -> usize { self.n }
+///     fn num_rank_states(&self) -> usize { self.n }
+///     fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+///         (i == r).then(|| (i, (r + 1) % self.n as State))
+///     }
+/// }
+/// impl InteractionSchema for Ag {
+///     fn interaction_classes(&self) -> Vec<ClassSpec> {
+///         vec![ClassSpec::equal_rank()]
+///     }
+/// }
+///
+/// ssr_engine::protocol::validate_interaction_schema(&Ag { n: 6 }).unwrap();
+/// ```
+pub trait InteractionSchema: Protocol {
+    /// Enumerate the protocol's productive classes. Called once per engine
+    /// construction; the result must not depend on the configuration.
+    fn interaction_classes(&self) -> Vec<ClassSpec>;
+
+    /// Membership test for the [`EqualRank`](InteractionClass::EqualRank)
+    /// class: whether two agents meeting in rank state `s` interact
+    /// productively. Only consulted when `EqualRank` is declared.
     ///
     /// The default queries the transition function directly; implementors
     /// may override with a cheaper test.
-    fn has_equal_rank_rule(&self, s: State) -> bool {
+    fn equal_rank_rule(&self, s: State) -> bool {
         debug_assert!(self.is_rank_state(s));
         self.transition(s, s).is_some()
     }
-
-    /// Whether *every* ordered pair of agents in extra states (including
-    /// both in the same extra state) is productive.
-    fn extra_extra_all(&self) -> bool {
-        false
-    }
-
-    /// Productivity of mixed (rank, extra) ordered pairs.
-    fn extra_rank_cross(&self) -> ExtraRankCross {
-        ExtraRankCross::None
-    }
 }
 
-/// Exhaustively verify that a [`ProductiveClasses`] declaration matches the
-/// transition function, and that `transition` never returns identity
-/// rewrites. Cost is `O(num_states²)`; intended for tests on small
-/// instances.
+/// Number of classes in `classes` covering the ordered state pair
+/// `(a, b)` of protocol `p` (0 = declared null, 1 = declared productive,
+/// ≥ 2 = overlapping declaration).
+fn coverage<P: InteractionSchema + ?Sized>(
+    p: &P,
+    classes: &[ClassSpec],
+    a: State,
+    b: State,
+) -> usize {
+    let ra = p.is_rank_state(a);
+    let rb = p.is_rank_state(b);
+    classes
+        .iter()
+        .filter(|spec| match spec.class {
+            InteractionClass::EqualRank => ra && rb && a == b && p.equal_rank_rule(a),
+            InteractionClass::ExtraExtra => !ra && !rb,
+            InteractionClass::RankExtra(d) => match d {
+                CrossDirection::RankInitiator => ra && !rb,
+                CrossDirection::ExtraInitiator => !ra && rb,
+                CrossDirection::Both => ra != rb,
+            },
+            InteractionClass::Pair {
+                initiator,
+                responder,
+            } => a == initiator && b == responder,
+        })
+        .count()
+}
+
+/// Exhaustively verify that an [`InteractionSchema`] declaration matches
+/// the transition function: every productive ordered pair is covered by
+/// exactly one declared class, no null pair is covered, no two classes
+/// overlap, and `transition` never returns identity rewrites. Cost is
+/// `O(num_states² · classes)`; intended for tests on small instances.
 ///
 /// # Errors
 ///
-/// Returns a description of the first violated pair.
-pub fn validate_productive_classes<P: ProductiveClasses + ?Sized>(
-    p: &P,
-) -> Result<(), String> {
+/// Returns a description of the first violation.
+pub fn validate_interaction_schema<P: InteractionSchema + ?Sized>(p: &P) -> Result<(), String> {
+    let classes = p.interaction_classes();
     let s_total = p.num_states() as State;
     for a in 0..s_total {
         for b in 0..s_total {
@@ -167,31 +342,24 @@ pub fn validate_productive_classes<P: ProductiveClasses + ?Sized>(
                     ));
                 }
             }
+            let covering = coverage(p, &classes, a, b);
+            if covering > 1 {
+                return Err(format!(
+                    "pair ({a},{b}) is covered by {covering} declared classes \
+                     (classes must not overlap)"
+                ));
+            }
             let productive = out.is_some();
-            let declared = declared_productive(p, a, b);
-            if productive != declared {
+            if productive != (covering == 1) {
                 return Err(format!(
                     "pair ({a},{b}): transition productive={productive} but \
-                     ProductiveClasses declares {declared}"
+                     the schema declares {}",
+                    covering == 1
                 ));
             }
         }
     }
     Ok(())
-}
-
-fn declared_productive<P: ProductiveClasses + ?Sized>(p: &P, a: State, b: State) -> bool {
-    let ra = p.is_rank_state(a);
-    let rb = p.is_rank_state(b);
-    match (ra, rb) {
-        (true, true) => a == b && p.has_equal_rank_rule(a),
-        (false, false) => p.extra_extra_all(),
-        (true, false) => matches!(
-            p.extra_rank_cross(),
-            ExtraRankCross::RankInitiatorOnly | ExtraRankCross::Symmetric
-        ),
-        (false, true) => matches!(p.extra_rank_cross(), ExtraRankCross::Symmetric),
-    }
 }
 
 /// Check that a configuration of all-distinct rank states is a fixed point,
@@ -217,14 +385,14 @@ pub fn validate_distinct_ranks_silent<P: Protocol + ?Sized>(p: &P) -> Result<(),
 }
 
 /// Composite check of the full ranking contract (see module docs) for small
-/// instances: class declaration exactness, no identity rewrites, and
-/// silence of perfect rankings.
+/// instances: schema exactness, no identity rewrites, and silence of
+/// perfect rankings.
 ///
 /// # Errors
 ///
 /// Propagates the first failure from either validator.
-pub fn validate_ranking_contract<P: ProductiveClasses + ?Sized>(p: &P) -> Result<(), String> {
-    validate_productive_classes(p)?;
+pub fn validate_ranking_contract<P: InteractionSchema + ?Sized>(p: &P) -> Result<(), String> {
+    validate_interaction_schema(p)?;
     validate_distinct_ranks_silent(p)?;
     if p.num_rank_states() != p.population_size() {
         return Err(format!(
@@ -266,7 +434,11 @@ mod tests {
             }
         }
     }
-    impl ProductiveClasses for Ag {}
+    impl InteractionSchema for Ag {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::equal_rank()]
+        }
+    }
 
     #[test]
     fn ag_satisfies_contract() {
@@ -278,6 +450,13 @@ mod tests {
         let p = Ag { n: 5 };
         assert_eq!(p.num_extra_states(), 0);
         assert!(p.is_rank_state(4));
+    }
+
+    #[test]
+    fn cross_direction_multipliers() {
+        assert_eq!(CrossDirection::RankInitiator.multiplier(), 1);
+        assert_eq!(CrossDirection::ExtraInitiator.multiplier(), 1);
+        assert_eq!(CrossDirection::Both.multiplier(), 2);
     }
 
     /// A broken protocol whose declaration over-claims productivity.
@@ -299,15 +478,18 @@ mod tests {
             None
         }
     }
-    impl ProductiveClasses for OverClaim {
-        fn has_equal_rank_rule(&self, _s: State) -> bool {
+    impl InteractionSchema for OverClaim {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::equal_rank()]
+        }
+        fn equal_rank_rule(&self, _s: State) -> bool {
             true // lies: transition never fires
         }
     }
 
     #[test]
     fn over_claiming_declaration_rejected() {
-        assert!(validate_productive_classes(&OverClaim).is_err());
+        assert!(validate_interaction_schema(&OverClaim).is_err());
     }
 
     /// A broken protocol returning identity rewrites.
@@ -329,11 +511,15 @@ mod tests {
             Some((i, r))
         }
     }
-    impl ProductiveClasses for Identity {}
+    impl InteractionSchema for Identity {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::equal_rank()]
+        }
+    }
 
     #[test]
     fn identity_rewrites_rejected() {
-        assert!(validate_productive_classes(&Identity).is_err());
+        assert!(validate_interaction_schema(&Identity).is_err());
     }
 
     /// A protocol that is not silent on perfect rankings.
@@ -363,5 +549,58 @@ mod tests {
     #[test]
     fn non_silent_ranking_rejected() {
         assert!(validate_distinct_ranks_silent(&Noisy).is_err());
+    }
+
+    /// A protocol using the sparse-pair escape hatch: the same rule set as
+    /// `Noisy` above, declared exactly.
+    impl InteractionSchema for Noisy {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::pair(0, 1)]
+        }
+    }
+
+    #[test]
+    fn sparse_pair_escape_hatch_validates() {
+        validate_interaction_schema(&Noisy).unwrap();
+    }
+
+    /// Overlapping declarations (a Pair duplicating EqualRank coverage)
+    /// are rejected even though the union covers exactly the productive
+    /// set.
+    struct Overlap;
+    impl Protocol for Overlap {
+        fn name(&self) -> &str {
+            "overlap"
+        }
+        fn population_size(&self) -> usize {
+            2
+        }
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn num_rank_states(&self) -> usize {
+            2
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            (i == r && i == 0).then_some((0, 1))
+        }
+    }
+    impl InteractionSchema for Overlap {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::equal_rank(), ClassSpec::pair(0, 0)]
+        }
+    }
+
+    #[test]
+    fn overlapping_classes_rejected() {
+        let err = validate_interaction_schema(&Overlap).unwrap_err();
+        assert!(err.contains("covered by 2"), "{err}");
+    }
+
+    #[test]
+    fn non_exchangeable_builder_flag() {
+        let spec = ClassSpec::extra_extra().non_exchangeable();
+        assert!(!spec.exchangeable);
+        assert!(ClassSpec::pair(3, 4).exchangeable);
     }
 }

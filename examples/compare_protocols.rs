@@ -9,7 +9,7 @@
 
 use ssr::prelude::*;
 
-fn measure<P: ProductiveClasses + Sync>(p: &P, n: usize, trials: usize) -> Summary {
+fn measure<P: InteractionSchema + Sync>(p: &P, n: usize, trials: usize) -> Summary {
     let cfg = TrialConfig::new(trials).with_base_seed(7);
     let results = run_trials(
         p,

@@ -12,7 +12,7 @@
 use ssr::analysis::exact::expected_interactions;
 use ssr::prelude::*;
 
-fn simulated_mean<P: ProductiveClasses>(p: &P, start: &[State], trials: u64) -> (f64, f64) {
+fn simulated_mean<P: InteractionSchema>(p: &P, start: &[State], trials: u64) -> (f64, f64) {
     let times: Vec<f64> = (0..trials)
         .map(|t| {
             let mut sim = JumpSimulation::new(p, start.to_vec(), 80_000 + t)
@@ -24,7 +24,7 @@ fn simulated_mean<P: ProductiveClasses>(p: &P, start: &[State], trials: u64) -> 
     (s.mean, s.ci95_half_width())
 }
 
-fn check<P: ProductiveClasses>(p: &P, start: Vec<State>) {
+fn check<P: InteractionSchema>(p: &P, start: Vec<State>) {
     let exact = expected_interactions(p, &start, 500_000)
         .expect("state space within limits");
     let (mean, ci) = simulated_mean(p, &start, 30_000);

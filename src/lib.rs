@@ -16,8 +16,10 @@
 //! * [`engine`] — the population-protocol model behind the unified
 //!   [`Engine`](engine::Engine) trait: the naive per-agent simulator, the
 //!   exact jump-chain simulator, and the count-based batched simulator
-//!   (O(#states) memory, scales to populations of 10⁷+); configuration
-//!   generators; parallel trial runner;
+//!   (O(#states) memory, scales to populations of 10⁷+), all driven by the
+//!   declarative [`InteractionSchema`](engine::InteractionSchema);
+//!   configuration generators; the [`Scenario`](engine::Scenario) trial
+//!   runner;
 //! * [`topology`] — perfectly balanced binary trees, the cubic routing
 //!   graph `G`, trap layouts;
 //! * [`protocols`] — the four protocols: `Θ(n²)` baseline `A_G`,
@@ -70,8 +72,9 @@ pub mod prelude {
     };
     pub use ssr_engine::{
         init, make_engine, recovery_after_faults, rng::Xoshiro256, run_trials,
-        ClusteredScheduler, CountSimulation, Engine, EngineKind, JumpSimulation,
-        ProductiveClasses, Protocol, Scheduler, Simulation, State, TrialConfig,
+        validate_interaction_schema, ClassSpec, ClusteredScheduler, CountSimulation,
+        CrossDirection, Engine, EngineKind, Init, InteractionClass, InteractionSchema,
+        JumpSimulation, Protocol, Scenario, Scheduler, Simulation, State, TrialConfig,
         UniformScheduler, ZipfScheduler,
     };
     pub use ssr_topology::{BalancedTree, CubicGraph, TrapChain};

@@ -6,7 +6,7 @@
 
 use ssr::prelude::*;
 
-fn mean_time<P: ProductiveClasses>(
+fn mean_time<P: InteractionSchema>(
     p: &P,
     cfg: &[State],
     trials: u64,
@@ -189,6 +189,91 @@ fn count_vs_naive_ks_test() {
         r.statistic,
         r.p_value
     );
+}
+
+/// The tree protocol from a uniform start spends most of its run in the
+/// buffer-epidemic (extra–extra) and unload/re-enter (rank–extra) phases —
+/// exactly the classes the count engine's generalised batch mode now
+/// splits hypergeometrically across the two populations. The
+/// stabilisation-time distributions must remain KS-indistinguishable from
+/// the exact jump chain.
+#[test]
+fn tree_count_vs_jump_ks_test_on_batched_extra_classes() {
+    let n = 1000;
+    let p = TreeRanking::new(n);
+    let trials = 200u64;
+    let sample = |kind: EngineKind, seed0: u64| -> Vec<f64> {
+        (0..trials)
+            .map(|t| {
+                let mut rng = Xoshiro256::seed_from_u64(seed0 + t);
+                let cfg = init::uniform_random(n, p.num_states(), &mut rng);
+                let mut e = make_engine(kind, &p, cfg, seed0 + t).unwrap();
+                e.run_until_silent(u64::MAX).unwrap().interactions as f64
+            })
+            .collect()
+    };
+    let jump = sample(EngineKind::Jump, 80_000);
+    let count = sample(EngineKind::Count, 90_000);
+    let r = ssr::analysis::ks::ks_two_sample(&jump, &count);
+    assert!(
+        r.p_value > 0.01,
+        "KS rejected jump vs count on tree: D = {:.4}, p = {:.5}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+/// Same check on the line protocol (one extra state, rank-initiator-only
+/// cross class) from the all-X start that funnels everything through the
+/// cross rule.
+#[test]
+fn line_count_vs_jump_ks_test_on_batched_cross_class() {
+    let n = 960;
+    let p = LineOfTraps::new(n);
+    let trials = 150u64;
+    let sample = |kind: EngineKind, seed0: u64| -> Vec<f64> {
+        (0..trials)
+            .map(|t| {
+                let mut e =
+                    make_engine(kind, &p, vec![p.x_state(); n], seed0 + t).unwrap();
+                e.run_until_silent(u64::MAX).unwrap().interactions as f64
+            })
+            .collect()
+    };
+    let jump = sample(EngineKind::Jump, 100_000);
+    let count = sample(EngineKind::Count, 110_000);
+    let r = ssr::analysis::ks::ks_two_sample(&jump, &count);
+    assert!(
+        r.p_value > 0.01,
+        "KS rejected jump vs count on line: D = {:.4}, p = {:.5}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+/// With batching off, the count engine walks the jump engine's chain on
+/// the tree protocol too — the multi-class exact sampler (equal-rank +
+/// extra–extra + symmetric cross all live) is draw-for-draw shared.
+#[test]
+fn count_and_jump_are_trace_identical_on_tree() {
+    let n = 300;
+    let p = TreeRanking::new(n);
+    for seed in [2u64, 77, 4242] {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let cfg = init::uniform_random(n, p.num_states(), &mut rng);
+        let mut jump = JumpSimulation::new(&p, cfg.clone(), seed).unwrap();
+        let mut count = CountSimulation::new(&p, cfg, seed)
+            .unwrap()
+            .with_batching(false);
+        let rj = jump.run_until_silent(u64::MAX).unwrap();
+        let rc = count.run_until_silent(u64::MAX).unwrap();
+        assert_eq!(
+            rj.productive_interactions, rc.productive_interactions,
+            "seed {seed}: productive counts must be identical"
+        );
+        assert_eq!(rj.interactions, rc.interactions, "seed {seed}");
+        assert_eq!(jump.counts(), count.counts(), "seed {seed}");
+    }
 }
 
 /// All engines agree on the unique silent support from a common start.

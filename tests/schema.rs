@@ -1,0 +1,141 @@
+//! Exhaustive interaction-schema validation across every protocol in the
+//! workspace: the declared classes must agree with the transition function
+//! pair-for-pair (`validate_interaction_schema`), ranking protocols must
+//! additionally satisfy the full ranking contract, and the schema must be
+//! consistent across protocol sizes including the degenerate ones.
+
+use ssr::prelude::*;
+use ssr::protocols::loose::LooseLeaderElection;
+use ssr_engine::protocol::validate_ranking_contract;
+
+#[test]
+fn generic_schema_exact_for_all_small_n() {
+    for n in 1..=40 {
+        validate_ranking_contract(&GenericRanking::new(n))
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+}
+
+#[test]
+fn ring_schema_exact_for_all_small_n() {
+    for n in 1..=40 {
+        validate_ranking_contract(&RingOfTraps::new(n))
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+}
+
+#[test]
+fn line_schema_exact_for_all_small_n() {
+    for n in LineOfTraps::MIN_POPULATION..=40 {
+        validate_ranking_contract(&LineOfTraps::new(n))
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+}
+
+#[test]
+fn tree_schema_exact_for_all_small_n() {
+    for n in 1..=40 {
+        validate_ranking_contract(&TreeRanking::new(n))
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        validate_ranking_contract(&TreeRanking::new(n).as_modified())
+            .unwrap_or_else(|e| panic!("modified n={n}: {e}"));
+    }
+    for (n, k) in [(9usize, 1usize), (16, 2), (33, 5)] {
+        validate_ranking_contract(&TreeRanking::with_buffer(n, k))
+            .unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+    }
+}
+
+#[test]
+fn loose_schema_exact_across_timer_ceilings() {
+    // Not a ranking protocol: only schema ↔ transition agreement applies.
+    for (n, tau) in [(4usize, 1u32), (8, 3), (16, 8), (30, 13), (64, 24)] {
+        validate_interaction_schema(&LooseLeaderElection::with_timer(n, tau))
+            .unwrap_or_else(|e| panic!("n={n} tau={tau}: {e}"));
+    }
+}
+
+#[test]
+fn loose_schema_enumerates_only_off_diagonal_pairs() {
+    let p = LooseLeaderElection::with_timer(10, 6);
+    let classes = p.interaction_classes();
+    assert!(matches!(classes[0].class, InteractionClass::EqualRank));
+    for spec in &classes[1..] {
+        match spec.class {
+            InteractionClass::Pair {
+                initiator,
+                responder,
+            } => {
+                assert_ne!(initiator, responder, "diagonal belongs to EqualRank");
+                assert!(p.transition(initiator, responder).is_some());
+            }
+            other => panic!("unexpected class {other:?}"),
+        }
+    }
+    // τ = 6: the only null off-diagonal pairs are (L, F(τ)) and (F(τ), L).
+    let states = Protocol::num_states(&p);
+    let all_off_diagonal = states * (states - 1);
+    assert_eq!(classes.len() - 1, all_off_diagonal - 2);
+}
+
+/// Every declared class must be *used*: for each protocol, each class
+/// shape covers at least one productive pair at a representative size
+/// (guards against vestigial declarations surviving refactors).
+#[test]
+fn declared_classes_are_inhabited() {
+    fn inhabited<P: InteractionSchema>(p: &P, what: &str) {
+        let total = Protocol::num_states(p) as u32;
+        for spec in p.interaction_classes() {
+            let hit = (0..total).any(|a| {
+                (0..total).any(|b| {
+                    let ra = p.is_rank_state(a);
+                    let rb = p.is_rank_state(b);
+                    let covered = match spec.class {
+                        InteractionClass::EqualRank => {
+                            ra && rb && a == b && p.equal_rank_rule(a)
+                        }
+                        InteractionClass::ExtraExtra => !ra && !rb,
+                        InteractionClass::RankExtra(d) => match d {
+                            CrossDirection::RankInitiator => ra && !rb,
+                            CrossDirection::ExtraInitiator => !ra && rb,
+                            CrossDirection::Both => ra != rb,
+                        },
+                        InteractionClass::Pair {
+                            initiator,
+                            responder,
+                        } => a == initiator && b == responder,
+                    };
+                    covered && p.transition(a, b).is_some()
+                })
+            });
+            assert!(hit, "{what}: class {:?} covers no productive pair", spec.class);
+        }
+    }
+    inhabited(&GenericRanking::new(12), "generic");
+    inhabited(&RingOfTraps::new(12), "ring");
+    inhabited(&LineOfTraps::new(12), "line");
+    inhabited(&TreeRanking::new(12), "tree");
+    inhabited(&LooseLeaderElection::with_timer(12, 5), "loose");
+}
+
+/// The schema is what the engines consume, so a protocol passing
+/// validation must run identically (per seed, batching off) on the jump
+/// and count engines — spot-checked here for the sparse-pair protocol
+/// (loose), closing the loop between validator and engines.
+#[test]
+fn validated_sparse_schema_runs_trace_identical_on_both_engines() {
+    let n = 40;
+    let p = LooseLeaderElection::new(n);
+    let mut jump = JumpSimulation::new(&p, vec![p.leader_state(); n], 3).unwrap();
+    let mut count = CountSimulation::new(&p, vec![p.leader_state(); n], 3)
+        .unwrap()
+        .with_batching(false);
+    for _ in 0..50_000 {
+        let j = jump.step_productive();
+        let c = count.step_productive();
+        assert_eq!(j, c);
+        assert!(j.is_some(), "loose protocols never go silent");
+    }
+    assert_eq!(jump.counts(), count.counts());
+    assert_eq!(jump.interactions(), count.interactions());
+}

@@ -15,8 +15,8 @@ fn protocols(n: usize) -> Vec<Box<dyn DynProtocol + Sync>> {
 }
 
 /// Object-safe union of the two traits we need.
-trait DynProtocol: ProductiveClasses {}
-impl<T: ProductiveClasses> DynProtocol for T {}
+trait DynProtocol: InteractionSchema {}
+impl<T: InteractionSchema> DynProtocol for T {}
 
 fn starts(p: &(impl Protocol + ?Sized), rng: &mut Xoshiro256) -> Vec<(String, Vec<State>)> {
     let n = p.population_size();

@@ -5,7 +5,7 @@
 
 use ssr::prelude::*;
 
-fn median_time<P: ProductiveClasses + Sync>(p: &P, trials: usize, seed: u64) -> f64 {
+fn median_time<P: InteractionSchema + Sync>(p: &P, trials: usize, seed: u64) -> f64 {
     let cfg = TrialConfig::new(trials).with_base_seed(seed);
     let res = run_trials(
         p,
