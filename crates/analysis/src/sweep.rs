@@ -74,6 +74,15 @@ impl SweepOptions {
         self.max_interactions = max;
         self
     }
+
+    /// Set the worker threads (0 = one per available core). Multi-trial
+    /// grid points parallelise across trials; single-trial points hand
+    /// the budget to the count engine's batch splits. Results are
+    /// deterministic in the base seed regardless.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// One grid point's measurements.

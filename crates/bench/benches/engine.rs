@@ -186,14 +186,18 @@ fn bench_count_batching(c: &mut Criterion) {
     let mut group = c.benchmark_group("count_batching_ag_n65536");
     group.throughput(Throughput::Elements(budget));
     group.sample_size(10);
-    for batching in [true, false] {
-        let label = if batching { "batched" } else { "exact" };
+    // `batched_t2` runs the same trajectory with 2-thread per-class
+    // splits (bit-identical results; the delta is pure wall-clock).
+    for (label, batching, threads) in
+        [("batched", true, 1), ("batched_t2", true, 2), ("exact", false, 1)]
+    {
         group.bench_function(label, |b| {
             b.iter_batched(
                 || {
                     CountSimulation::new(&p, vec![0; n], 7)
                         .unwrap()
                         .with_batching(batching)
+                        .with_threads(threads)
                 },
                 |mut sim| {
                     while sim.productive_interactions() < budget

@@ -81,21 +81,22 @@ fn parse(path: &str) -> Result<BTreeMap<String, Entry>, String> {
     Ok(out)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let current_path = args.first().map_or("BENCH_engines.json", |s| s.as_str());
-    let baseline_path = args
-        .get(1)
-        .map_or("BENCH_engines.baseline.json", |s| s.as_str());
+/// Outcome of comparing one fresh run against one baseline.
+#[derive(Debug, Default, PartialEq)]
+struct GateReport {
+    /// Entries whose machine-normalised throughput dropped beyond
+    /// [`MAX_REGRESSION`] — the only thing that fails the gate.
+    regressions: usize,
+    /// Throughput entries actually compared.
+    gated: usize,
+    /// Per-key mismatches that cannot gate (baseline key absent from the
+    /// fresh run, no calibration, nothing comparable at all). Reported
+    /// loudly, never fatal: a renamed bench or a trimmed baseline must
+    /// not paint CI red.
+    warnings: usize,
+}
 
-    let (current, baseline) = match (parse(current_path), parse(baseline_path)) {
-        (Ok(c), Ok(b)) => (c, b),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("bench_gate: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
+fn run_gate(current: &BTreeMap<String, Entry>, baseline: &BTreeMap<String, Entry>) -> GateReport {
     // Normalise out raw machine speed when the calibration entry exists
     // in both runs (the baseline may come from different hardware).
     let calibration = match (
@@ -105,22 +106,30 @@ fn main() -> ExitCode {
         (Some(b), Some(c)) if b > 0.0 && c > 0.0 => Some((b, c)),
         _ => None,
     };
+    let mut report = GateReport::default();
     println!(
-        "bench_gate: {current_path} vs {baseline_path} (gate: >{MAX_REGRESSION}× throughput drop, {})",
+        "bench_gate: gate >{MAX_REGRESSION}× throughput drop, {}",
         match calibration {
             Some((b, c)) => format!(
                 "machine-normalised via {CALIBRATION_ID}: current runs at {:.2}× baseline speed",
                 c / b
             ),
-            None => "raw — calibration entry missing in one file".to_string(),
+            None => {
+                report.warnings += 1;
+                format!(
+                    "WARNING: calibration entry '{CALIBRATION_ID}' missing in one file — \
+                     comparing raw numbers"
+                )
+            }
         }
     );
-    let mut regressions = 0usize;
-    let mut gated = 0usize;
-    for (id, base) in &baseline {
+    for (id, base) in baseline {
         let Some(cur) = current.get(id) else {
-            println!("  MISSING  {id} (present in baseline, absent in current run)");
-            regressions += 1;
+            println!(
+                "  WARNING  {id}: present in baseline, absent in current run (not gated — \
+                 regenerate the baseline if this bench was removed or renamed)"
+            );
+            report.warnings += 1;
             continue;
         };
         if id == CALIBRATION_ID && calibration.is_some() {
@@ -128,14 +137,14 @@ fn main() -> ExitCode {
         }
         match (base.elements_per_sec, cur.elements_per_sec) {
             (Some(b), Some(c)) if b > 0.0 => {
-                gated += 1;
+                report.gated += 1;
                 let (b, c) = match calibration {
                     Some((cal_b, cal_c)) => (b / cal_b, c / cal_c),
                     None => (b, c),
                 };
                 let ratio = c / b;
                 let verdict = if ratio * MAX_REGRESSION < 1.0 {
-                    regressions += 1;
+                    report.regressions += 1;
                     "REGRESSED"
                 } else {
                     "ok"
@@ -159,16 +168,70 @@ fn main() -> ExitCode {
             println!("  {:>9}  {id}: new entry (no baseline)", "new");
         }
     }
+    if report.gated == 0 {
+        println!(
+            "  WARNING  no throughput entries were comparable — nothing gated \
+             (regenerate the baseline)"
+        );
+        report.warnings += 1;
+    }
+    report
+}
 
-    if gated == 0 {
-        eprintln!("bench_gate: baseline has no throughput entries to gate on");
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current_path = args.first().map_or("BENCH_engines.json", |s| s.as_str());
+    let baseline_path = args
+        .get(1)
+        .map_or("BENCH_engines.baseline.json", |s| s.as_str());
+
+    // The fresh run must exist — a failed bench step is a real error. A
+    // *missing* baseline file only means there is nothing to gate against
+    // yet (first run on a new branch, deliberately cleared baseline):
+    // warn and pass. A baseline that exists but does not parse is NOT a
+    // pass — a typo'd path passes the missing-file check above it, but a
+    // corrupted checked-in baseline must not silently disable the gate.
+    let current = match parse(current_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !std::path::Path::new(baseline_path).exists() {
+        eprintln!(
+            "bench_gate: WARNING: {baseline_path} does not exist — no baseline to gate \
+             against, passing"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match parse(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_gate: baseline exists but is unusable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("bench_gate: {current_path} vs {baseline_path}");
+    let report = run_gate(&current, &baseline);
+    if report.regressions > 0 {
+        eprintln!(
+            "bench_gate: {} regression(s) beyond {MAX_REGRESSION}×",
+            report.regressions
+        );
         return ExitCode::FAILURE;
     }
-    if regressions > 0 {
-        eprintln!("bench_gate: {regressions} regression(s) beyond {MAX_REGRESSION}×");
-        return ExitCode::FAILURE;
+    if report.warnings > 0 {
+        println!(
+            "bench_gate: {} warning(s), {} throughput entries within {MAX_REGRESSION}×",
+            report.warnings, report.gated
+        );
+    } else {
+        println!(
+            "bench_gate: all {} throughput entries within {MAX_REGRESSION}×",
+            report.gated
+        );
     }
-    println!("bench_gate: all {gated} throughput entries within {MAX_REGRESSION}×");
     ExitCode::SUCCESS
 }
 
@@ -189,5 +252,66 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(parse("/nonexistent/BENCH.json").is_err());
+    }
+
+    fn entry(tp: Option<f64>) -> Entry {
+        Entry {
+            mean_ns: 100.0,
+            elements_per_sec: tp,
+        }
+    }
+
+    fn map(entries: &[(&str, Option<f64>)]) -> BTreeMap<String, Entry> {
+        entries
+            .iter()
+            .map(|&(id, tp)| (id.to_string(), entry(tp)))
+            .collect()
+    }
+
+    /// A baseline key absent from the fresh run degrades to a warning —
+    /// renamed or removed benches must not fail the gate.
+    #[test]
+    fn missing_bench_key_warns_without_regressing() {
+        let baseline = map(&[("a/tp", Some(100.0)), ("gone/tp", Some(50.0))]);
+        let current = map(&[("a/tp", Some(90.0))]);
+        let report = run_gate(&current, &baseline);
+        assert_eq!(report.regressions, 0);
+        assert_eq!(report.gated, 1);
+        // Two warnings: the missing key and the missing calibration entry.
+        assert_eq!(report.warnings, 2);
+    }
+
+    /// A missing calibration entry falls back to raw comparison (one
+    /// warning), still gating genuine regressions.
+    #[test]
+    fn missing_calibration_still_gates_raw() {
+        let baseline = map(&[("a/tp", Some(100.0)), ("b/tp", Some(100.0))]);
+        let current = map(&[("a/tp", Some(10.0)), ("b/tp", Some(95.0))]);
+        let report = run_gate(&current, &baseline);
+        assert_eq!(report.regressions, 1, "10x raw drop must gate");
+        assert_eq!(report.gated, 2);
+        assert_eq!(report.warnings, 1);
+    }
+
+    /// With the calibration entry present in both files, a uniformly
+    /// slower machine does not trip the gate.
+    #[test]
+    fn calibrated_uniform_slowdown_passes() {
+        let baseline = map(&[(CALIBRATION_ID, Some(1000.0)), ("a/tp", Some(100.0))]);
+        let current = map(&[(CALIBRATION_ID, Some(250.0)), ("a/tp", Some(25.0))]);
+        let report = run_gate(&current, &baseline);
+        assert_eq!(report.regressions, 0);
+        assert_eq!(report.warnings, 0);
+    }
+
+    /// Nothing comparable at all: warn, never regress.
+    #[test]
+    fn no_comparable_entries_warns() {
+        let baseline = map(&[("time_only", None)]);
+        let current = map(&[("time_only", None)]);
+        let report = run_gate(&current, &baseline);
+        assert_eq!(report.regressions, 0);
+        assert_eq!(report.gated, 0);
+        assert!(report.warnings >= 1);
     }
 }

@@ -4,45 +4,53 @@
 //! grid stops at `n = 16384`. The count engine batches **every**
 //! interaction class of the tree protocol's schema — equal-rank dispersal,
 //! the buffer epidemic (extra–extra), and the reset/re-enter cross class —
-//! so runs that used to fall back to exact stepping for ~90% of their
-//! productive work (the `X_i + X_j` churn) now pay amortised
-//! sub-interaction cost end to end. That pushes the grid across **five**
-//! more decades of `n`, to `n = 2²⁷ ≈ 1.34·10⁸` (quick mode stops at
-//! `n = 16384`); memory stays `O(#states)`. The smallest grid point is
-//! cross-checked against the exact jump engine; both the raw exponent
-//! (should hover just above 1) and the log-corrected model
-//! `T ≈ c·n·log n` are fitted, and wall-clock per trial is recorded per
-//! decade so regressions in batching coverage are visible directly in
-//! this table.
+//! and splits each batch's per-class work across a thread pool
+//! (`SSR_THREADS`, results bit-identical per seed regardless), with the
+//! weight state slimmed to block sums over derived leaves. Together that
+//! pushes the grid to **`n = 2³⁰ ≈ 1.07·10⁹` agents in a single run**
+//! (quick mode stops at `n = 16384`); memory stays `O(#states)` with
+//! ≈ `1.1n` bytes of weight-tree overhead beyond the `4n`-byte counts.
+//!
+//! The smallest grid point is cross-checked against the exact jump engine;
+//! both the raw exponent (should hover just above 1) and the log-corrected
+//! model `T ≈ c·n·log n` are fitted, and wall-clock, productive
+//! interactions and peak RSS are recorded per decade so regressions in
+//! batching coverage or memory footprint are visible directly in this
+//! table (recorded grids live in `EXPERIMENTS.md`).
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_scale`
-//! (full grid: the top point takes minutes per trial; set `SSR_QUICK=1`
-//! for a smoke run)
+//! (full grid: the top point takes tens of minutes per trial; set
+//! `SSR_QUICK=1` for a smoke run, `SSR_SCALE_MAX_LOG2=27` to cap the grid,
+//! `SSR_THREADS=4` to parallelise each run's batch splits)
 
 use ssr_analysis::{fit_power_law, fit_power_law_with_polylog, Summary, Table};
-use ssr_bench::{print_header, trials, verdict};
+use ssr_bench::{format_bytes, peak_rss_bytes, print_header, trials, verdict};
 use ssr_core::TreeRanking;
 use ssr_engine::{EngineKind, Init, Protocol, Scenario};
 
+/// Above this `n`, only the uniform start is run (a stacked run costs the
+/// same again and the uniform medians are what the fit consumes).
+const STACKED_MAX_N: usize = 1 << 27;
+
 fn main() {
     print_header(
-        "E3+: tree protocol at scale (count engine, all classes batched)",
-        "Theorem 3's O(n log n) holds across five further decades of n",
+        "E3+: tree protocol at scale (count engine, parallel per-class batching)",
+        "Theorem 3's O(n log n) holds across six further decades of n",
     );
     let t = trials(8);
+    let threads = ssr_bench::threads();
+    let max_log2: u32 = std::env::var("SSR_SCALE_MAX_LOG2")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     let ns: Vec<f64> = if ssr_bench::quick() {
         vec![1024.0, 4096.0, 16384.0]
     } else {
-        vec![
-            16384.0,
-            65536.0,
-            262144.0,
-            1_048_576.0,   // 2^20
-            4_194_304.0,   // 2^22
-            16_777_216.0,  // 2^24
-            67_108_864.0,  // 2^26
-            134_217_728.0, // 2^27 ≈ 1.34·10⁸
-        ]
+        [14u32, 16, 18, 20, 22, 24, 26, 27, 28, 30]
+            .iter()
+            .filter(|&&log2| log2 <= max_log2)
+            .map(|&log2| (1u64 << log2) as f64)
+            .collect()
     };
 
     let mut table = Table::new(vec![
@@ -52,7 +60,9 @@ fn main() {
         "stacked median".into(),
         "uniform median".into(),
         "median / (n·log₂n) ×10³".into(),
+        "productive/trial".into(),
         "wall-clock/trial".into(),
+        "peak RSS".into(),
     ]);
     let mut meds = Vec::new();
     for &nf in &ns {
@@ -68,38 +78,56 @@ fn main() {
         };
         let p = TreeRanking::new(n);
         let mut wall = std::time::Duration::ZERO;
-        let mut run = |init: Init<'_>, base: u64| -> f64 {
+        let mut productive = Vec::new();
+        let mut runs = 0u32;
+        let mut run = |init: Init<'_>, base: u64, productive: &mut Vec<f64>| -> f64 {
             let scenario = Scenario::new(&p)
                 .engine(EngineKind::Count)
                 .init(init)
-                .base_seed(base);
+                .base_seed(base)
+                .threads(threads);
             let times: Vec<f64> = (0..t_here as u64)
                 .map(|s| {
                     let start = std::time::Instant::now();
                     let mut sim = scenario.build_engine(s).unwrap();
                     let rep = sim.run_until_silent(u64::MAX).unwrap();
                     wall += start.elapsed();
+                    runs += 1;
+                    productive.push(rep.productive_interactions as f64);
                     rep.parallel_time
                 })
                 .collect();
             Summary::of(&times).median
         };
-        let stacked = run(Init::Stacked, 61_000);
-        let uniform = run(Init::Uniform, 62_000);
+        let stacked = if n <= STACKED_MAX_N {
+            format!("{:.0}", run(Init::Stacked, 61_000, &mut Vec::new()))
+        } else {
+            "—".to_string()
+        };
+        let uniform = run(Init::Uniform, 62_000, &mut productive);
         meds.push(uniform);
         let norm = uniform / (nf * nf.log2()) * 1e3;
-        let per_trial = wall / (2 * t_here as u32);
+        let per_trial = wall / runs.max(1);
+        let prod_median = Summary::of(&productive).median;
         table.add_row(vec![
             n.to_string(),
             p.num_extra_states().to_string(),
             t_here.to_string(),
-            format!("{stacked:.0}"),
+            stacked,
             format!("{uniform:.0}"),
             format!("{norm:.2}"),
+            format!("{prod_median:.3e}"),
             format!("{:.2?}", per_trial),
+            peak_rss_bytes().map_or("n/a".into(), format_bytes),
         ]);
     }
     print!("{}", table.render());
+    if threads != 1 {
+        println!(
+            "(per-class batch splits on {} threads; identical results at any thread count)",
+            if threads == 0 { "all".to_string() } else { threads.to_string() }
+        );
+    }
 
     // Cross-check: on the smallest grid point the jump and count engines
     // must report statistically indistinguishable medians.

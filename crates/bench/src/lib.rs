@@ -29,6 +29,43 @@ pub fn quick() -> bool {
     std::env::var_os("SSR_QUICK").is_some()
 }
 
+/// Worker threads requested via `SSR_THREADS` (0 = auto, the default) —
+/// passed through to [`Scenario::threads`](ssr_engine::Scenario::threads)
+/// by the experiment binaries. Results are seed-deterministic regardless.
+pub fn threads() -> usize {
+    std::env::var("SSR_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Peak resident-set size of this process in bytes (Linux `VmHWM`), if
+/// the platform exposes it. Monotonic over the process lifetime — in a
+/// grid that grows `n`, the value after the largest point is the number
+/// that matters.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Human-readable byte count (binary units).
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.1} {}", UNITS[unit])
+}
+
 /// Pick `full` or `short` grid depending on [`quick`].
 pub fn grid(full: &[f64], short: &[f64]) -> Vec<f64> {
     if quick() {

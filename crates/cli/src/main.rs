@@ -74,13 +74,15 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     let p = make_protocol(&a.str_or("protocol", "tree"), n)?;
     let seed = a.u64_or("seed", 1)?;
     let max = a.u64_or("max", u64::MAX)?;
+    let threads = a.usize_or("threads", 0)?;
     let kind = engine_kind(a)?;
     let start = make_start(p.as_ref(), &a.str_or("start", "uniform"), a.usize_or("k", 1)?, seed)?;
     let make = move |_seed| start.clone();
     let scenario = Scenario::new(p.as_ref())
         .engine(kind)
         .init(Init::Custom(&make))
-        .base_seed(seed);
+        .base_seed(seed)
+        .threads(threads);
     let mut sim = scenario.build_engine(0).map_err(|e| e.to_string())?;
     println!(
         "{}: n = {n}, {} states ({} extra), seed {seed}, engine {} ({kind})",
@@ -102,6 +104,7 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
     let ns = a.usize_list_or("ns", &[64, 128, 256, 512])?;
     let trials = a.usize_or("trials", 10)?;
     let seed = a.u64_or("seed", 0)?;
+    let threads = a.usize_or("threads", 0)?;
     let engine = engine_kind(a)?;
     let grid: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
     // The sweep driver needs a concrete type; dispatch per protocol.
@@ -116,7 +119,8 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
                 },
                 &SweepOptions::new(trials)
                     .with_base_seed(seed)
-                    .with_engine(engine),
+                    .with_engine(engine)
+                    .with_threads(threads),
             );
             print!("{}", res.to_table("n").render());
             if res.rows.len() >= 2 && res.rows.iter().all(|r| r.median > 0.0) {
@@ -259,11 +263,16 @@ commands:
   run    --protocol generic|ring|line|tree --n N
          [--start uniform|stacked|perfect|k-distant] [--k K]
          [--seed S] [--max M] [--engine auto|naive|jump|count]
+         [--threads T]
                                                simulate one run to silence
                                                (auto: count at n ≥ 4096,
-                                               jump below; count scales to
-                                               n = 10⁷+)
+                                               jump below; count batches in
+                                               parallel over T threads and
+                                               scales to n = 10⁹; results
+                                               are seed-deterministic
+                                               regardless of T)
   sweep  --protocol P --ns 64,128,256 [--trials T] [--seed S] [--engine E]
+         [--threads T]
                                                time-vs-n table + power fit
   elect  --protocol P --n N [--start ...] [--k K] [--seed S]
                                                run leader election

@@ -3,7 +3,7 @@
 //!
 //! A protocol's declarative [`InteractionSchema`] is compiled once per
 //! engine construction into a [`CompiledSchema`] (flags, the equal-rank
-//! membership table, the sparse-pair index), and the engine keeps one
+//! membership bitset, the sparse-pair index), and the engine keeps one
 //! [`ClassState`]: the occupancy counts plus every per-class weight
 //! structure, updated incrementally on each count change. Both engines
 //! sample the next productive ordered state pair through
@@ -20,6 +20,17 @@
 //!   + R·E·dirs                                     (rank–extra cross)
 //!   + Σ_(a,b) c_a·(c_b − [a = b])                  (enumerated sparse pairs)
 //! ```
+//!
+//! # Memory
+//!
+//! The per-rank-state weight structures (`eq`, `rank_occ`) do **not** store
+//! leaf weights: both are pure functions of the occupancy counts
+//! (`c(c−1)` and `c`), so [`BlockTree`] keeps only one `u64` sum per block
+//! of [`BLOCK`] leaves and recomputes leaves on demand. For a protocol with
+//! `≈ n` rank states this is ~`n/4` bytes per tree plus the `4n`-byte
+//! counts vector — down from `2·8·2n = 32n` bytes for two materialised
+//! `u64` weight trees — which is what lets a single tree-protocol run reach
+//! `n = 2³⁰` within a few GB.
 
 use crate::error::ConfigError;
 use crate::protocol::{ClassSpec, CrossDirection, InteractionClass, InteractionSchema, State};
@@ -29,6 +40,11 @@ use crate::rng::Xoshiro256;
 /// from binomial splitting to direct weighted descends (cheaper in RNG
 /// draws, identical in distribution).
 const SPLIT_DIRECT_THRESHOLD: u64 = 8;
+
+/// Leaves per [`BlockTree`] block: the tree keeps one `u64` sum per block
+/// and scans at most this many derived leaf weights at the bottom of a
+/// descent.
+const BLOCK: usize = 64;
 
 /// Complete binary weight tree over `u64` weights: `O(log n)` point
 /// updates, `O(1)` totals, `O(log n)` weighted sampling, and — the reason
@@ -111,16 +127,36 @@ impl WeightTree {
         }
     }
 
-    /// Slot containing offset `target` when weights are laid end to end
-    /// (identical mapping to
-    /// [`Fenwick::sample`](crate::fenwick::Fenwick::sample)).
+    /// Replace every weight at once and rebuild the internal sums in
+    /// `O(len)` (vs `O(len log len)` for repeated [`set`](Self::set)) —
+    /// the bulk constructor for population-sized trees.
     ///
     /// # Panics
     ///
-    /// Debug-panics if `target >= total()`.
+    /// Panics if `values.len() != len()`.
+    pub fn assign(&mut self, values: &[u64]) {
+        assert_eq!(values.len(), self.len, "assign length mismatch");
+        self.tree[self.size..self.size + self.len].copy_from_slice(values);
+        for slot in &mut self.tree[self.size + self.len..] {
+            *slot = 0;
+        }
+        for node in (1..self.size).rev() {
+            self.tree[node] = self.tree[2 * node] + self.tree[2 * node + 1];
+        }
+    }
+
+    /// Slot containing offset `target` when weights are laid end to end,
+    /// together with the residual offset *within* that slot, or `None`
+    /// when `target >= total()`.
+    ///
+    /// An in-range target can never land on a zero-weight slot (prefix
+    /// sums are strict), so the descent needs no zero-leaf special case —
+    /// the out-of-range guard is what makes it safe in release builds.
     #[inline]
-    pub fn sample(&self, mut target: u64) -> usize {
-        debug_assert!(target < self.total(), "sample target out of range");
+    pub fn try_sample_with_offset(&self, mut target: u64) -> Option<(usize, u64)> {
+        if target >= self.total() {
+            return None;
+        }
         let mut node = 1usize;
         while node < self.size {
             let left = 2 * node;
@@ -131,7 +167,36 @@ impl WeightTree {
                 node = left + 1;
             }
         }
-        node - self.size
+        Some((node - self.size, target))
+    }
+
+    /// Slot containing offset `target`, or `None` when
+    /// `target >= total()` (the checked form of [`sample`](Self::sample)).
+    #[inline]
+    pub fn try_sample(&self, target: u64) -> Option<usize> {
+        self.try_sample_with_offset(target).map(|(slot, _)| slot)
+    }
+
+    /// Slot containing offset `target` when weights are laid end to end
+    /// (identical mapping to
+    /// [`Fenwick::sample`](crate::fenwick::Fenwick::sample)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= total()` — in release builds too. An unchecked
+    /// descent would silently walk to the last leaf (even a zero-weight
+    /// one) and corrupt the caller's weighted choice; a hard error is the
+    /// only safe answer. Use [`try_sample`](Self::try_sample) to handle
+    /// the out-of-range case gracefully.
+    #[inline]
+    pub fn sample(&self, target: u64) -> usize {
+        match self.try_sample(target) {
+            Some(slot) => slot,
+            None => panic!(
+                "sample target {target} out of range (total weight {})",
+                self.total()
+            ),
+        }
     }
 
     /// Split a batch of `b` weighted draws across all slots: appends
@@ -202,16 +267,302 @@ impl WeightTree {
     }
 }
 
+/// Weight tree over *derived* leaves: the structure stores one `u64` sum
+/// per block of [`BLOCK`] leaves (in an internal [`WeightTree`]) and the
+/// caller supplies the leaf weight function — for the engines a pure
+/// function of the occupancy counts, so no per-leaf array is ever
+/// materialised.
+///
+/// Sampling descends the block tree and then scans at most [`BLOCK`]
+/// derived leaves; point updates touch one block sum; multinomial
+/// splitting mirrors [`WeightTree::split`], finishing each block with
+/// chained conditional binomials over the derived leaves.
+///
+/// [`partition`](Self::partition) additionally pre-splits a batch into
+/// independent subtree tasks — the unit of work the count engine hands to
+/// its thread pool. Each task carries the exact conditional binomial the
+/// sequential split would have drawn at that node, so executing the tasks
+/// with independent RNG streams reproduces the same multinomial law.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockTree {
+    /// Number of leaves.
+    len: usize,
+    /// One `u64` sum per block of `BLOCK` leaves.
+    blocks: WeightTree,
+}
+
+impl BlockTree {
+    /// Tree over `len` derived leaves, all sums zero.
+    pub fn new(len: usize) -> Self {
+        BlockTree {
+            len,
+            blocks: WeightTree::new(len.div_ceil(BLOCK)),
+        }
+    }
+
+    /// True if the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of all leaf weights.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.blocks.total()
+    }
+
+    /// Account for the leaf at `i` changing from weight `old` to `new`
+    /// (leaves are derived, so the caller supplies both values).
+    #[inline]
+    pub fn update(&mut self, i: usize, old: u64, new: u64) {
+        if old == new {
+            return;
+        }
+        let b = i / BLOCK;
+        let sum = self.blocks.weight(b);
+        debug_assert!(sum >= old, "block sum below departing leaf weight");
+        self.blocks.set(b, sum - old + new);
+    }
+
+    /// Recompute every block sum from the leaf function in `O(len)`.
+    pub fn rebuild<F: Fn(usize) -> u64>(&mut self, leaf: F) {
+        let mut sums = vec![0u64; self.blocks.len()];
+        for i in 0..self.len {
+            sums[i / BLOCK] += leaf(i);
+        }
+        self.blocks.assign(&sums);
+    }
+
+    /// Leaf containing offset `target` in prefix-sum order — the same
+    /// mapping a materialised [`WeightTree::sample`] over the leaf weights
+    /// would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= total()`.
+    #[inline]
+    pub fn sample<F: Fn(usize) -> u64>(&self, target: u64, leaf: &F) -> usize {
+        let (b, rem) = match self.blocks.try_sample_with_offset(target) {
+            Some(hit) => hit,
+            None => panic!(
+                "sample target {target} out of range (total weight {})",
+                self.total()
+            ),
+        };
+        self.scan_block(b, rem, leaf)
+    }
+
+    /// Leaf of block `b` containing the residual offset `rem`.
+    fn scan_block<F: Fn(usize) -> u64>(&self, b: usize, mut rem: u64, leaf: &F) -> usize {
+        let start = b * BLOCK;
+        let end = (start + BLOCK).min(self.len);
+        for i in start..end {
+            let w = leaf(i);
+            if rem < w {
+                return i;
+            }
+            rem -= w;
+        }
+        panic!("block {b} sum inconsistent with derived leaf weights");
+    }
+
+    /// Multinomial split of `b` draws over all leaves, appending
+    /// `(leaf, k)` pairs in ascending leaf order with `Σ k == b`.
+    /// Equivalent in distribution to [`WeightTree::split`] over the
+    /// materialised leaf weights. (The count engine enters through
+    /// [`partition`](Self::partition)/[`split_node`](Self::split_node)
+    /// instead so the work can fan out over threads.)
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn split<F: Fn(usize) -> u64>(
+        &self,
+        b: u64,
+        rng: &mut Xoshiro256,
+        leaf: &F,
+        out: &mut Vec<(usize, u64)>,
+    ) {
+        if b == 0 {
+            return;
+        }
+        debug_assert!(self.total() > 0, "cannot split over zero weight");
+        self.split_node(1, b, rng, leaf, out);
+    }
+
+    /// Continue a split from `node` in the block-tree node space (`1` is
+    /// the root) — the execution half of [`partition`](Self::partition).
+    pub fn split_node<F: Fn(usize) -> u64>(
+        &self,
+        node: usize,
+        k: u64,
+        rng: &mut Xoshiro256,
+        leaf: &F,
+        out: &mut Vec<(usize, u64)>,
+    ) {
+        if k == 0 {
+            return;
+        }
+        let t = &self.blocks;
+        if node >= t.size {
+            self.split_block(node - t.size, k, rng, leaf, out);
+            return;
+        }
+        if k <= SPLIT_DIRECT_THRESHOLD {
+            // Same direct-descent shortcut as WeightTree::split_rec.
+            let total = t.tree[node];
+            for _ in 0..k {
+                let mut target = rng.below(total);
+                let mut pos = node;
+                while pos < t.size {
+                    let left = 2 * pos;
+                    if t.tree[left] > target {
+                        pos = left;
+                    } else {
+                        target -= t.tree[left];
+                        pos = left + 1;
+                    }
+                }
+                let i = self.scan_block(pos - t.size, target, leaf);
+                match out.last_mut() {
+                    Some((last, c)) if *last == i => *c += 1,
+                    _ => out.push((i, 1)),
+                }
+            }
+            return;
+        }
+        let left = 2 * node;
+        let wl = t.tree[left];
+        let wr = t.tree[left + 1];
+        let kl = if wr == 0 {
+            k
+        } else if wl == 0 {
+            0
+        } else {
+            rng.binomial(k, wl as f64 / (wl + wr) as f64)
+        };
+        self.split_node(left, kl, rng, leaf, out);
+        self.split_node(left + 1, k - kl, rng, leaf, out);
+    }
+
+    /// Chained conditional binomials over one block's derived leaves —
+    /// together a multinomial over the block.
+    fn split_block<F: Fn(usize) -> u64>(
+        &self,
+        b: usize,
+        k: u64,
+        rng: &mut Xoshiro256,
+        leaf: &F,
+        out: &mut Vec<(usize, u64)>,
+    ) {
+        let start = b * BLOCK;
+        let end = (start + BLOCK).min(self.len);
+        chain_split(
+            rng,
+            k,
+            self.blocks.weight(b),
+            (start..end).map(|i| (i, leaf(i))),
+            out,
+        );
+    }
+
+    /// Deterministically pre-split `k` draws into independent subtree
+    /// tasks: descends while a side holds more than `task_draws` draws,
+    /// drawing exactly the conditional binomials a full
+    /// [`split`](Self::split) would draw at those nodes, and appends
+    /// `(node, k)` pairs in left-to-right order. Completing each task with
+    /// [`split_node`](Self::split_node) under an *independent* RNG stream
+    /// yields the same multinomial law as one sequential split — and a
+    /// result that does not depend on how tasks are scheduled over
+    /// threads.
+    pub fn partition(
+        &self,
+        k: u64,
+        task_draws: u64,
+        rng: &mut Xoshiro256,
+        out: &mut Vec<(usize, u64)>,
+    ) {
+        if k == 0 {
+            return;
+        }
+        self.partition_rec(1, k, task_draws, rng, out);
+    }
+
+    fn partition_rec(
+        &self,
+        node: usize,
+        k: u64,
+        task_draws: u64,
+        rng: &mut Xoshiro256,
+        out: &mut Vec<(usize, u64)>,
+    ) {
+        if k == 0 {
+            return;
+        }
+        if k <= task_draws || node >= self.blocks.size {
+            out.push((node, k));
+            return;
+        }
+        let left = 2 * node;
+        let wl = self.blocks.tree[left];
+        let wr = self.blocks.tree[left + 1];
+        let kl = if wr == 0 {
+            k
+        } else if wl == 0 {
+            0
+        } else {
+            rng.binomial(k, wl as f64 / (wl + wr) as f64)
+        };
+        self.partition_rec(left, kl, task_draws, rng, out);
+        self.partition_rec(left + 1, k - kl, task_draws, rng, out);
+    }
+}
+
+/// Split `k` draws across weighted `items` by chained conditional
+/// binomials — together a multinomial over the weights. Appends
+/// `(slot, draws)` for every slot that received draws.
+///
+/// This is the single implementation of the chained-split law: the count
+/// engine's extra-state splits and [`BlockTree`]'s in-block splits both
+/// delegate here, so a change to the law cannot leave the two diverged.
+pub(crate) fn chain_split<S: Copy>(
+    rng: &mut Xoshiro256,
+    mut k: u64,
+    total: u64,
+    items: impl Iterator<Item = (S, u64)>,
+    out: &mut Vec<(S, u64)>,
+) {
+    let mut w_rem = total;
+    for (slot, w) in items {
+        if k == 0 {
+            break;
+        }
+        if w == 0 {
+            continue;
+        }
+        let draws = if w >= w_rem {
+            k
+        } else {
+            rng.binomial(k, w as f64 / w_rem as f64)
+        };
+        if draws > 0 {
+            out.push((slot, draws));
+        }
+        k -= draws;
+        w_rem -= w;
+    }
+    debug_assert_eq!(k, 0, "chain split left draws unassigned");
+}
+
 /// A protocol's [`InteractionSchema`] flattened into the form the engines
-/// consume: flags per structured class, the equal-rank membership table,
+/// consume: flags per structured class, the equal-rank membership bitset,
 /// and an index over the enumerated sparse pairs.
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledSchema {
     /// Whether the `EqualRank` class is declared.
     pub eq: bool,
     pub eq_exchangeable: bool,
-    /// `has_eq[s]` for rank states (empty when `eq` is false).
-    pub has_eq: Vec<bool>,
+    /// Bitset over rank states: bit `s` set iff an equal-rank rule exists
+    /// at `s` (empty when `eq` is false). A bitset rather than
+    /// `Vec<bool>` — at `n = 2³⁰` rank states that is 128 MB vs 1 GB.
+    pub has_eq: Vec<u64>,
     /// Whether the `ExtraExtra` class is declared.
     pub xx: bool,
     pub xx_exchangeable: bool,
@@ -229,6 +580,12 @@ pub(crate) struct CompiledSchema {
 }
 
 impl CompiledSchema {
+    /// Whether rank state `s` has an equal-rank rule.
+    #[inline]
+    pub fn eq_rule(&self, s: usize) -> bool {
+        self.eq && (self.has_eq[s >> 6] >> (s & 63)) & 1 != 0
+    }
+
     /// Flatten `p`'s declared classes.
     ///
     /// # Panics
@@ -299,9 +656,12 @@ impl CompiledSchema {
             }
         }
         if schema.eq {
-            schema.has_eq = (0..num_ranks)
-                .map(|s| p.equal_rank_rule(s as State))
-                .collect();
+            schema.has_eq = vec![0u64; num_ranks.div_ceil(64)];
+            for s in 0..num_ranks {
+                if p.equal_rank_rule(s as State) {
+                    schema.has_eq[s >> 6] |= 1 << (s & 63);
+                }
+            }
         }
         if !schema.pairs.is_empty() {
             schema.pairs_by_state = vec![Vec::new(); num_states];
@@ -327,6 +687,12 @@ fn pair_weight(counts: &[u32], a: State, b: State) -> u64 {
     }
 }
 
+/// Equal-rank leaf weight for occupancy `c`.
+#[inline]
+fn eq_weight_of(c: u64) -> u64 {
+    c * c.saturating_sub(1)
+}
+
 /// Live weight state for a compiled schema: occupancy counts plus every
 /// per-class weight structure, kept consistent through
 /// [`update_count`](Self::update_count).
@@ -335,12 +701,14 @@ pub(crate) struct ClassState {
     pub schema: CompiledSchema,
     pub counts: Vec<u32>,
     pub num_ranks: usize,
-    /// Per-rank-state weight `c(c−1)` where an equal-rank rule exists
-    /// (zero-length when the class is not declared).
-    pub eq: WeightTree,
-    /// Per-rank-state occupancy, for cross-pair sampling and splitting
-    /// (zero-length when no cross class is declared).
-    pub rank_occ: WeightTree,
+    /// Block sums of the per-rank-state weights `c(c−1)` where an
+    /// equal-rank rule exists; leaves are derived from `counts` on demand
+    /// (empty when the class is not declared).
+    pub eq: BlockTree,
+    /// Block sums of the per-rank-state occupancy, for cross-pair sampling
+    /// and splitting; leaves are the `counts` entries themselves (empty
+    /// when no cross class is declared).
+    pub rank_occ: BlockTree,
     /// Per-sparse-pair weight (zero-length without enumerated pairs).
     pub sparse: WeightTree,
     pub rank_agents: u64,
@@ -381,21 +749,29 @@ impl ClassState {
         }
         let schema = CompiledSchema::compile(protocol);
         let num_ranks = protocol.num_rank_states();
-        let mut eq = WeightTree::new(if schema.eq { num_ranks } else { 0 });
-        let mut rank_occ = WeightTree::new(if schema.cross.is_some() { num_ranks } else { 0 });
+        let mut eq = BlockTree::new(if schema.eq { num_ranks } else { 0 });
+        let mut rank_occ = BlockTree::new(if schema.cross.is_some() { num_ranks } else { 0 });
         let mut sparse = WeightTree::new(schema.pairs.len());
         let mut rank_agents = 0u64;
         let mut max_eq_bound = 1u64;
         for (s, &c) in counts.iter().take(num_ranks).enumerate() {
             let c = c as u64;
             rank_agents += c;
-            if !rank_occ.is_empty() {
-                rank_occ.set(s, c);
-            }
-            if schema.eq && schema.has_eq[s] {
-                eq.set(s, c * c.saturating_sub(1));
+            if schema.eq_rule(s) {
                 max_eq_bound = max_eq_bound.max(c);
             }
+        }
+        if schema.eq {
+            eq.rebuild(|s| {
+                if schema.eq_rule(s) {
+                    eq_weight_of(counts[s] as u64)
+                } else {
+                    0
+                }
+            });
+        }
+        if !rank_occ.is_empty() {
+            rank_occ.rebuild(|s| counts[s] as u64);
         }
         for (i, &(a, b)) in schema.pairs.iter().enumerate() {
             sparse.set(i, pair_weight(&counts, a, b));
@@ -414,27 +790,63 @@ impl ClassState {
         })
     }
 
+    /// Equal-rank leaf weight of rank state `s`, derived from the current
+    /// occupancy.
+    #[inline]
+    pub fn eq_leaf(&self, s: usize) -> u64 {
+        if self.schema.eq_rule(s) {
+            eq_weight_of(self.counts[s] as u64)
+        } else {
+            0
+        }
+    }
+
+    /// Occupancy leaf weight of rank state `s` (the cross class samples
+    /// rank participants proportionally to occupancy).
+    #[inline]
+    pub fn rank_leaf(&self, s: usize) -> u64 {
+        self.counts[s] as u64
+    }
+
     /// Add `delta` to the occupancy of state `s`, updating every weight
     /// structure the schema declares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the occupancy would leave `0..=u32::MAX` — a transiently
+    /// negative intermediate must never be silently wrapped into a huge
+    /// weight, so out-of-order delta sequences are a hard error.
     #[inline]
     pub fn update_count(&mut self, s: State, delta: i64) {
         let su = s as usize;
-        let c = (self.counts[su] as i64 + delta) as u32;
-        self.counts[su] = c;
+        let old = self.counts[su] as u64;
+        let new = match old.checked_add_signed(delta) {
+            Some(v) if v <= u32::MAX as u64 => v,
+            _ => panic!(
+                "occupancy of state {s} left 0..=u32::MAX: {old} {delta:+} \
+                 (out-of-order delta application?)"
+            ),
+        };
+        self.counts[su] = new as u32;
         if su < self.num_ranks {
-            self.rank_agents = (self.rank_agents as i64 + delta) as u64;
+            self.rank_agents = self
+                .rank_agents
+                .checked_add_signed(delta)
+                .expect("rank population went negative");
             if !self.rank_occ.is_empty() {
-                self.rank_occ.set(su, c as u64);
+                self.rank_occ.update(su, old, new);
             }
-            if self.schema.eq && self.schema.has_eq[su] {
-                let c = c as u64;
-                self.eq.set(su, c * c.saturating_sub(1));
-                if c > self.max_eq_bound {
-                    self.max_eq_bound = c;
+            if self.schema.eq_rule(su) {
+                self.eq.update(su, eq_weight_of(old), eq_weight_of(new));
+                if new > self.max_eq_bound {
+                    self.max_eq_bound = new;
                 }
             }
         } else {
-            self.extra_agents = (self.extra_agents as i64 + delta) as u64;
+            self.extra_agents = self
+                .extra_agents
+                .checked_add_signed(delta)
+                .expect("extra population went negative");
         }
         if !self.schema.pairs.is_empty() {
             for i in 0..self.schema.pairs_by_state[su].len() {
@@ -450,7 +862,7 @@ impl ClassState {
     pub fn refresh_max_eq(&mut self) {
         let mut max = 1u64;
         for s in 0..self.num_ranks {
-            if self.schema.has_eq[s] {
+            if self.schema.eq_rule(s) {
                 max = max.max(self.counts[s] as u64);
             }
         }
@@ -536,7 +948,7 @@ impl ClassState {
         let w_sparse = self.sparse_weight();
         let mut u = rng.below(w_eq + w_xx + w_cross + w_sparse);
         if u < w_eq {
-            let s = self.eq.sample(u) as State;
+            let s = self.eq.sample(u, &|s| self.eq_leaf(s)) as State;
             return (s, s);
         }
         u -= w_eq;
@@ -559,7 +971,7 @@ impl ClassState {
             };
             let rank_idx = rem / self.extra_agents;
             let extra_idx = rem % self.extra_agents;
-            let rank_state = self.rank_occ.sample(rank_idx) as State;
+            let rank_state = self.rank_occ.sample(rank_idx, &|s| self.rank_leaf(s)) as State;
             let extra_state = self.extra_state_at(extra_idx, None);
             return if extra_initiates {
                 (extra_state, rank_state)
@@ -598,6 +1010,21 @@ mod tests {
     }
 
     #[test]
+    fn weight_tree_assign_matches_pointwise_sets() {
+        let weights: Vec<u64> = (0..37).map(|i| (i * 7 % 11) as u64).collect();
+        let mut bulk = WeightTree::new(weights.len());
+        bulk.assign(&weights);
+        let mut point = WeightTree::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            point.set(i, w);
+        }
+        assert_eq!(bulk.total(), point.total());
+        for target in 0..bulk.total() {
+            assert_eq!(bulk.sample(target), point.sample(target), "target {target}");
+        }
+    }
+
+    #[test]
     fn weight_tree_sample_agrees_with_fenwick() {
         let mut t = WeightTree::new(37);
         let mut f = Fenwick::new(37);
@@ -611,6 +1038,35 @@ mod tests {
         for target in 0..t.total() {
             assert_eq!(t.sample(target), f.sample(target), "target {target}");
         }
+    }
+
+    /// Regression: with trailing zero-weight slots, every in-range target
+    /// must land on a positive-weight slot, and out-of-range targets are
+    /// an error — never a silent descent into the zero tail.
+    #[test]
+    fn weight_tree_sample_safe_over_trailing_zeros() {
+        let mut t = WeightTree::new(8);
+        t.set(0, 2);
+        t.set(3, 5);
+        // Slots 4..8 stay zero; the last in-range target maps to slot 3.
+        assert_eq!(t.total(), 7);
+        assert_eq!(t.try_sample(0), Some(0));
+        assert_eq!(t.try_sample(1), Some(0));
+        assert_eq!(t.try_sample(2), Some(3));
+        assert_eq!(t.try_sample(6), Some(3));
+        assert_eq!(t.try_sample(7), None, "target == total is out of range");
+        assert_eq!(t.try_sample(u64::MAX), None);
+        assert_eq!(t.try_sample_with_offset(4), Some((3, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn weight_tree_sample_out_of_range_is_a_hard_error() {
+        let mut t = WeightTree::new(4);
+        t.set(0, 3);
+        t.set(1, 2);
+        // Release builds used to descend to leaf 3 (weight zero) here.
+        let _ = t.sample(5);
     }
 
     #[test]
@@ -639,6 +1095,87 @@ mod tests {
             assert!(
                 (got - expect).abs() < 0.02,
                 "slot {i}: {got:.3} vs {expect}"
+            );
+        }
+    }
+
+    /// The derived-leaf block tree must reproduce the materialised
+    /// weight tree's sampling map exactly and split with the same law.
+    #[test]
+    fn block_tree_matches_materialised_weight_tree() {
+        // Spans three blocks, with zero runs inside and at the end.
+        let weights: Vec<u64> = (0..150)
+            .map(|i| match i % 7 {
+                0 => (i as u64 % 13) + 1,
+                3 => 2,
+                _ => 0,
+            })
+            .collect();
+        let leaf = |i: usize| weights[i];
+        let mut bt = BlockTree::new(weights.len());
+        bt.rebuild(leaf);
+        let mut wt = WeightTree::new(weights.len());
+        wt.assign(&weights);
+        assert_eq!(bt.total(), wt.total());
+        for target in 0..wt.total() {
+            assert_eq!(bt.sample(target, &leaf), wt.sample(target), "target {target}");
+        }
+        // Point update keeps the map aligned.
+        let mut weights2 = weights.clone();
+        bt.update(70, weights2[70], 9);
+        weights2[70] = 9;
+        let leaf2 = |i: usize| weights2[i];
+        wt.set(70, 9);
+        assert_eq!(bt.total(), wt.total());
+        for target in 0..wt.total() {
+            assert_eq!(bt.sample(target, &leaf2), wt.sample(target), "target {target}");
+        }
+        // Split conserves the batch and only touches positive leaves.
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let mut out = Vec::new();
+        bt.split(5000, &mut rng, &leaf2, &mut out);
+        assert_eq!(out.iter().map(|&(_, k)| k).sum::<u64>(), 5000);
+        for &(i, _) in &out {
+            assert!(weights2[i] > 0, "leaf {i} drawn with zero weight");
+        }
+    }
+
+    /// Pre-partitioned subtree tasks completed with independent RNG
+    /// streams must realise the same multinomial as one sequential split.
+    #[test]
+    fn block_tree_partition_preserves_the_split_law() {
+        let weights: Vec<u64> = (0..300).map(|i| (i as u64 * 31 % 17) + 1).collect();
+        let leaf = |i: usize| weights[i];
+        let mut bt = BlockTree::new(weights.len());
+        bt.rebuild(leaf);
+        let b = 20_000u64;
+        let rounds = 60;
+        let mut totals = vec![0u64; weights.len()];
+        let mut coord = Xoshiro256::seed_from_u64(21);
+        for round in 0..rounds {
+            let mut parts = Vec::new();
+            bt.partition(b, 1024, &mut coord, &mut parts);
+            assert!(parts.len() > 1, "large batch must partition");
+            assert_eq!(parts.iter().map(|&(_, k)| k).sum::<u64>(), b);
+            for (t, &(node, k)) in parts.iter().enumerate() {
+                let seed = crate::rng::derive_seed(round * 100 + t as u64, 1);
+                let mut rng = Xoshiro256::seed_from_u64(seed);
+                let mut out = Vec::new();
+                bt.split_node(node, k, &mut rng, &leaf, &mut out);
+                assert_eq!(out.iter().map(|&(_, c)| c).sum::<u64>(), k);
+                for (i, c) in out {
+                    totals[i] += c;
+                }
+            }
+        }
+        let grand = (b * rounds) as f64;
+        let wsum = bt.total() as f64;
+        for (i, &w) in weights.iter().enumerate() {
+            let got = totals[i] as f64 / grand;
+            let expect = w as f64 / wsum;
+            assert!(
+                (got - expect).abs() < 0.002,
+                "leaf {i}: {got:.5} vs {expect:.5}"
             );
         }
     }
@@ -713,6 +1250,30 @@ mod tests {
         assert_eq!(st.rank_agents, fresh.rank_agents);
         assert_eq!(st.extra_agents, fresh.extra_agents);
         assert_eq!(st.extra_occupancy(), (2, 2));
+    }
+
+    /// Regression for the silent-wrap bug: a delta sequence applied out of
+    /// order (the decrement of a later rewrite arriving before the
+    /// increment that funds it) drove `(u64 as i64 + delta) as u64`
+    /// through a negative intermediate and wrapped to a huge weight.
+    /// It must be a hard error instead.
+    #[test]
+    #[should_panic(expected = "out-of-order delta application")]
+    fn update_count_rejects_transiently_negative_occupancy() {
+        let counts = vec![2, 1, 0, 1, 0, 0, 1, 1];
+        let mut st = ClassState::new(&AllClasses, counts).unwrap();
+        // Out-of-order sequence: state 2 is empty, so the -1 that should
+        // have followed a +1 arrives first.
+        st.update_count(2, -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order delta application")]
+    fn update_count_rejects_grouped_underflow() {
+        let counts = vec![2, 1, 0, 1, 0, 0, 1, 1];
+        let mut st = ClassState::new(&AllClasses, counts).unwrap();
+        // A coalesced group delta larger than the occupancy it drains.
+        st.update_count(0, -3);
     }
 
     /// Sparse-pair protocol: two rules on a 3-state space that fit no
@@ -797,6 +1358,41 @@ mod tests {
         crate::protocol::validate_interaction_schema(&TwoDir).unwrap();
         let schema = CompiledSchema::compile(&TwoDir);
         assert_eq!(schema.cross, Some(CrossDirection::Both));
+    }
+
+    #[test]
+    fn compiled_eq_bitset_matches_protocol_rule() {
+        // A rule set that straddles a 64-bit word boundary.
+        struct Striped;
+        impl Protocol for Striped {
+            fn name(&self) -> &str {
+                "striped"
+            }
+            fn population_size(&self) -> usize {
+                100
+            }
+            fn num_states(&self) -> usize {
+                100
+            }
+            fn num_rank_states(&self) -> usize {
+                100
+            }
+            fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+                (i == r && i.is_multiple_of(3)).then(|| (i, (r + 1) % 100))
+            }
+        }
+        impl InteractionSchema for Striped {
+            fn interaction_classes(&self) -> Vec<ClassSpec> {
+                vec![ClassSpec::equal_rank()]
+            }
+            fn equal_rank_rule(&self, s: State) -> bool {
+                s.is_multiple_of(3)
+            }
+        }
+        let schema = CompiledSchema::compile(&Striped);
+        for s in 0..100u32 {
+            assert_eq!(schema.eq_rule(s as usize), s.is_multiple_of(3), "state {s}");
+        }
     }
 
     #[test]

@@ -47,6 +47,20 @@
 //! that step. Correctness near silence is therefore always the exact jump
 //! chain.
 //!
+//! ## Parallel per-class splits
+//!
+//! Within one batch the per-class splits are conditionally independent
+//! given the class totals, so they can run on separate threads. The batch
+//! draws one `batch_seed` from the main RNG, plans a deterministic list of
+//! *split tasks* (equal-rank subtrees, the extra–extra split, one task per
+//! cross (direction, extra-state) slice — large slices pre-partitioned
+//! down the occupancy tree — and the sparse split) using a coordinator
+//! stream derived from it, and then executes every task under its own
+//! `derive_seed(batch_seed, task)`-derived stream. Results are merged in
+//! task order, so a run is **bit-identical for a fixed seed regardless of
+//! the thread count** (including one) — see
+//! [`CountSimulation::with_threads`].
+//!
 //! # Examples
 //!
 //! ```
@@ -81,12 +95,12 @@
 //!
 //! [`InteractionSchema`]: crate::protocol::InteractionSchema
 
-use crate::classes::ClassState;
+use crate::classes::{chain_split, ClassState};
 use crate::engine::CountObserver;
 use crate::error::{ConfigError, StabilisationTimeout};
 use crate::init;
 use crate::protocol::{CrossDirection, InteractionSchema, State};
-use crate::rng::Xoshiro256;
+use crate::rng::{derive_seed, Xoshiro256};
 use crate::sim::StabilisationReport;
 
 pub use crate::classes::WeightTree;
@@ -108,12 +122,244 @@ const EXACT_RECHECK_INTERVAL: u32 = 32;
 /// over-estimate).
 const MAX_REFRESH_INTERVAL: u32 = 32;
 
+/// Target draws per split task when pre-partitioning a class's weight
+/// tree. Applied with *any* thread count (including one), so the
+/// trajectory never depends on how many workers execute the tasks.
+const PARTITION_TASK_DRAWS: u64 = 4096;
+
+/// Batches below this many draws run their tasks on the calling thread —
+/// thread-spawn overhead would dominate the split work.
+const PARALLEL_MIN_DRAWS: u64 = 8192;
+
 /// One coalesced group of identical rewrites applied by a batch step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BatchGroup {
     before: (State, State),
     after: (State, State),
     applied: u64,
+}
+
+/// A coalesced rewrite key with its multiplicity — the output unit of the
+/// split phase.
+type KeyGroup = ((State, State), u64);
+
+/// One independently executable unit of a batch's split work. Tasks are
+/// planned deterministically from the frozen [`ClassState`] and a
+/// coordinator RNG stream; each one is executed against the same frozen
+/// state under its own derived RNG stream, on whichever worker thread
+/// picks it up.
+#[derive(Debug, Clone, Copy)]
+enum SplitTask {
+    /// Split `k` equal-rank draws below `node` of the eq block tree.
+    Eq { node: usize, k: u64 },
+    /// The whole extra–extra hierarchical split (extra spaces are small
+    /// by design, so this is never worth subdividing).
+    Xx { k: u64 },
+    /// One (direction, extra-state) slice of the cross class: split its
+    /// `k` draws across the rank population below `node` of the
+    /// occupancy tree.
+    Cross {
+        node: usize,
+        extra: State,
+        extra_initiates: bool,
+        k: u64,
+    },
+    /// The whole sparse-pair tree split (enumerated pairs are few).
+    Sparse { k: u64 },
+}
+
+/// Plan the deterministic split-task list for one batch: the per-class
+/// draw counts are fanned out into subtree tasks using `coord` (the
+/// coordinator stream derived from the batch seed). Task order is fixed —
+/// equal-rank, extra–extra, cross (rank-initiated then extra-initiated,
+/// extras ascending), sparse — so the merged output order never depends
+/// on scheduling.
+fn plan_tasks(
+    state: &ClassState,
+    ks: [u64; 4],
+    coord: &mut Xoshiro256,
+    tasks: &mut Vec<SplitTask>,
+) {
+    let [k_eq, k_xx, k_cross, k_sparse] = ks;
+    let mut parts: Vec<(usize, u64)> = Vec::new();
+    if k_eq > 0 {
+        state.eq.partition(k_eq, PARTITION_TASK_DRAWS, coord, &mut parts);
+        tasks.extend(parts.iter().map(|&(node, k)| SplitTask::Eq { node, k }));
+    }
+    if k_xx > 0 {
+        tasks.push(SplitTask::Xx { k: k_xx });
+    }
+    if k_cross > 0 {
+        let dir = state.schema.cross.expect("cross weight without class");
+        let (k_rank_init, k_extra_init) = match dir {
+            CrossDirection::RankInitiator => (k_cross, 0),
+            CrossDirection::ExtraInitiator => (0, k_cross),
+            CrossDirection::Both => {
+                let k = coord.binomial(k_cross, 0.5);
+                (k, k_cross - k)
+            }
+        };
+        let num_ranks = state.num_ranks;
+        let num_states = state.counts.len();
+        let e_total = state.extra_agents;
+        let mut extras: Vec<(State, u64)> = Vec::new();
+        for (k_dir, extra_initiates) in [(k_rank_init, false), (k_extra_init, true)] {
+            if k_dir == 0 {
+                continue;
+            }
+            extras.clear();
+            chain_split(
+                coord,
+                k_dir,
+                e_total,
+                (num_ranks..num_states).map(|s| (s as State, state.counts[s] as u64)),
+                &mut extras,
+            );
+            for &(extra, k_e) in &extras {
+                parts.clear();
+                state
+                    .rank_occ
+                    .partition(k_e, PARTITION_TASK_DRAWS, coord, &mut parts);
+                tasks.extend(parts.iter().map(|&(node, k)| SplitTask::Cross {
+                    node,
+                    extra,
+                    extra_initiates,
+                    k,
+                }));
+            }
+        }
+    }
+    if k_sparse > 0 {
+        tasks.push(SplitTask::Sparse { k: k_sparse });
+    }
+}
+
+/// Execute one split task against the frozen state, appending its
+/// coalesced rewrite keys. `split` is caller-provided scratch (cleared
+/// here) so the serial path and each worker reuse one allocation across
+/// tasks.
+fn run_split_task(
+    state: &ClassState,
+    task: &SplitTask,
+    rng: &mut Xoshiro256,
+    split: &mut Vec<(usize, u64)>,
+    out: &mut Vec<KeyGroup>,
+) {
+    split.clear();
+    match *task {
+        SplitTask::Eq { node, k } => {
+            state
+                .eq
+                .split_node(node, k, rng, &|s| state.eq_leaf(s), split);
+            out.extend(split.iter().map(|&(s, k)| ((s as State, s as State), k)));
+        }
+        SplitTask::Xx { k } => {
+            // Hierarchical split — initiator extra state (weight c·(E−1),
+            // i.e. ∝ c), then responder extra state (weight c minus one
+            // when sharing the initiator's state).
+            let num_ranks = state.num_ranks;
+            let num_states = state.counts.len();
+            let e_total = state.extra_agents;
+            let mut initiators: Vec<(State, u64)> = Vec::new();
+            chain_split(
+                rng,
+                k,
+                e_total,
+                (num_ranks..num_states).map(|s| (s as State, state.counts[s] as u64)),
+                &mut initiators,
+            );
+            let mut responders: Vec<(State, u64)> = Vec::new();
+            for &(e1, k1) in &initiators {
+                responders.clear();
+                chain_split(
+                    rng,
+                    k1,
+                    e_total - 1,
+                    (num_ranks..num_states).map(|s| {
+                        let c = state.counts[s] as u64;
+                        (s as State, if s == e1 as usize { c - 1 } else { c })
+                    }),
+                    &mut responders,
+                );
+                out.extend(responders.iter().map(|&(e2, k2)| ((e1, e2), k2)));
+            }
+        }
+        SplitTask::Cross {
+            node,
+            extra,
+            extra_initiates,
+            k,
+        } => {
+            state
+                .rank_occ
+                .split_node(node, k, rng, &|s| state.rank_leaf(s), split);
+            out.extend(split.iter().map(|&(r, k_re)| {
+                let r = r as State;
+                (
+                    if extra_initiates { (extra, r) } else { (r, extra) },
+                    k_re,
+                )
+            }));
+        }
+        SplitTask::Sparse { k } => {
+            state.sparse.split(k, rng, split);
+            out.extend(split.iter().map(|&(pi, k)| (state.schema.pairs[pi], k)));
+        }
+    }
+}
+
+/// Run every task — serially, or fanned out over up to `threads` scoped
+/// workers when the batch is big enough to amortise the spawns — and merge
+/// the outputs in task order. Task `i` always draws from the stream
+/// `derive_seed(batch_seed, 1 + i)`, so the merged keys are identical for
+/// every thread count.
+fn execute_tasks(
+    state: &ClassState,
+    tasks: &[SplitTask],
+    batch_seed: u64,
+    threads: usize,
+    b: u64,
+    split_scratch: &mut Vec<(usize, u64)>,
+    out: &mut Vec<KeyGroup>,
+) {
+    let task_rng =
+        |i: usize| Xoshiro256::seed_from_u64(derive_seed(batch_seed, 1 + i as u64));
+    let workers = threads.min(tasks.len());
+    if workers <= 1 || b < PARALLEL_MIN_DRAWS {
+        for (i, task) in tasks.iter().enumerate() {
+            run_split_task(state, task, &mut task_rng(i), split_scratch, out);
+        }
+        return;
+    }
+    // Scoped workers are spawned per eligible batch (std-only; a
+    // persistent pool would need unsafe or an external crate — the spawn
+    // cost is bounded by PARALLEL_MIN_DRAWS and amortises as b grows;
+    // see ROADMAP). Each slot is written once by whichever worker pulls
+    // the task, then drained in task order.
+    let slots: Vec<std::sync::Mutex<Vec<KeyGroup>>> =
+        tasks.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || {
+                let mut split: Vec<(usize, u64)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let mut buf = Vec::new();
+                    run_split_task(state, &tasks[i], &mut task_rng(i), &mut split, &mut buf);
+                    *slots[i].lock().expect("split worker panicked") = buf;
+                }
+            });
+        }
+    });
+    for slot in slots {
+        out.append(&mut slot.into_inner().expect("split worker panicked"));
+    }
 }
 
 /// Count-based simulation with far-from-silence batching.
@@ -133,10 +379,12 @@ pub struct CountSimulation<'a, P: InteractionSchema + ?Sized> {
     /// Exact steps to take before re-checking batch eligibility (0 =
     /// check now); keeps the check off the exact-mode hot path.
     exact_steps_until_recheck: u32,
+    /// Worker threads for batch splits (1 = everything on the calling
+    /// thread). Never affects the trajectory, only wall-clock.
+    threads: usize,
+    task_scratch: Vec<SplitTask>,
     split_scratch: Vec<(usize, u64)>,
-    state_split_scratch: Vec<(State, u64)>,
-    state_split_scratch2: Vec<(State, u64)>,
-    key_scratch: Vec<((State, State), u64)>,
+    key_scratch: Vec<KeyGroup>,
     group_scratch: Vec<BatchGroup>,
 }
 
@@ -182,9 +430,9 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
             batching: true,
             batches_since_refresh: 0,
             exact_steps_until_recheck: 0,
+            threads: 1,
+            task_scratch: Vec::new(),
             split_scratch: Vec::new(),
-            state_split_scratch: Vec::new(),
-            state_split_scratch2: Vec::new(),
             key_scratch: Vec::new(),
             group_scratch: Vec::new(),
         })
@@ -202,6 +450,29 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
     /// Whether batch mode is enabled.
     pub fn batching(&self) -> bool {
         self.batching
+    }
+
+    /// Set the number of worker threads for batch splits (0 = one per
+    /// available core, 1 = serial, the default).
+    ///
+    /// Each batch's per-class split work is pre-partitioned into tasks
+    /// with their own seed-derived RNG streams and merged in task order,
+    /// so for a fixed seed the trajectory is **bit-identical regardless of
+    /// the thread count** — threads buy wall-clock, never change results.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Worker threads used for batch splits.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Current per-state occupancy counts.
@@ -408,46 +679,17 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         None
     }
 
-    /// Split `k` draws across `items` (slot, weight) by chained
-    /// conditional binomials — together a multinomial over the weights.
-    /// Appends `(slot, draws)` for every slot that received draws.
-    fn chain_split(
-        rng: &mut Xoshiro256,
-        mut k: u64,
-        total: u64,
-        items: impl Iterator<Item = (State, u64)>,
-        out: &mut Vec<(State, u64)>,
-    ) {
-        let mut w_rem = total;
-        for (slot, w) in items {
-            if k == 0 {
-                break;
-            }
-            if w == 0 {
-                continue;
-            }
-            let draws = if w >= w_rem {
-                k
-            } else {
-                rng.binomial(k, w as f64 / w_rem as f64)
-            };
-            if draws > 0 {
-                out.push((slot, draws));
-            }
-            k -= draws;
-            w_rem -= w;
-        }
-        debug_assert_eq!(k, 0, "chain split left draws unassigned");
-    }
-
     /// Collect the coalesced rewrite keys of one batch of `b` steps, with
     /// all weights frozen at the current configuration, into
     /// `self.key_scratch`. No counts are mutated.
+    ///
+    /// The main RNG contributes exactly the class-level multinomial draws
+    /// plus one `batch_seed`; all split randomness comes from streams
+    /// derived from that seed, so the result is invariant under the
+    /// thread count (see the module docs).
     fn collect_batch_keys(&mut self, b: u64, weights: [u64; 4]) {
         let [w_eq, w_xx, w_cross, w_sparse] = weights;
         let w = w_eq + w_xx + w_cross + w_sparse;
-        let mut keys = std::mem::take(&mut self.key_scratch);
-        keys.clear();
 
         // Multinomial split of the batch across the four classes.
         let mut rem = b;
@@ -472,105 +714,26 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         let k_sparse = class_draw(w_sparse, &mut self.rng);
         debug_assert_eq!(k_eq + k_xx + k_cross + k_sparse, b);
 
-        // Equal-rank: tree split over per-state weights.
-        if k_eq > 0 {
-            let mut split = std::mem::take(&mut self.split_scratch);
-            split.clear();
-            self.state.eq.split(k_eq, &mut self.rng, &mut split);
-            for &(s, k) in &split {
-                keys.push(((s as State, s as State), k));
-            }
-            self.split_scratch = split;
-        }
+        let batch_seed = self.rng.next_u64();
+        let mut coord = Xoshiro256::seed_from_u64(derive_seed(batch_seed, 0));
+        let mut tasks = std::mem::take(&mut self.task_scratch);
+        tasks.clear();
+        plan_tasks(&self.state, [k_eq, k_xx, k_cross, k_sparse], &mut coord, &mut tasks);
 
-        let num_ranks = self.state.num_ranks;
-        let num_states = self.state.counts.len();
-        let e_total = self.state.extra_agents;
-
-        // Extra–extra: hierarchical split — initiator extra state (weight
-        // c·(E−1), i.e. ∝ c), then responder extra state (weight c minus
-        // one when sharing the initiator's state).
-        if k_xx > 0 {
-            let mut initiators = std::mem::take(&mut self.state_split_scratch);
-            initiators.clear();
-            Self::chain_split(
-                &mut self.rng,
-                k_xx,
-                e_total,
-                (num_ranks..num_states).map(|s| (s as State, self.state.counts[s] as u64)),
-                &mut initiators,
-            );
-            let mut responders = std::mem::take(&mut self.state_split_scratch2);
-            for &(e1, k1) in &initiators {
-                responders.clear();
-                Self::chain_split(
-                    &mut self.rng,
-                    k1,
-                    e_total - 1,
-                    (num_ranks..num_states).map(|s| {
-                        let c = self.state.counts[s] as u64;
-                        (s as State, if s == e1 as usize { c - 1 } else { c })
-                    }),
-                    &mut responders,
-                );
-                for &(e2, k2) in &responders {
-                    keys.push(((e1, e2), k2));
-                }
-            }
-            self.state_split_scratch = initiators;
-            self.state_split_scratch2 = responders;
-        }
-
-        // Rank–extra cross: direction, then extra state (∝ c_e), then the
-        // rank-population split via the occupancy tree.
-        if k_cross > 0 {
-            let dir = self.state.schema.cross.expect("cross weight without class");
-            let (k_rank_init, k_extra_init) = match dir {
-                CrossDirection::RankInitiator => (k_cross, 0),
-                CrossDirection::ExtraInitiator => (0, k_cross),
-                CrossDirection::Both => {
-                    let k = self.rng.binomial(k_cross, 0.5);
-                    (k, k_cross - k)
-                }
-            };
-            for (k_dir, extra_initiates) in [(k_rank_init, false), (k_extra_init, true)] {
-                if k_dir == 0 {
-                    continue;
-                }
-                let mut extras = std::mem::take(&mut self.state_split_scratch);
-                extras.clear();
-                Self::chain_split(
-                    &mut self.rng,
-                    k_dir,
-                    e_total,
-                    (num_ranks..num_states).map(|s| (s as State, self.state.counts[s] as u64)),
-                    &mut extras,
-                );
-                for &(e, k_e) in &extras {
-                    let mut split = std::mem::take(&mut self.split_scratch);
-                    split.clear();
-                    self.state.rank_occ.split(k_e, &mut self.rng, &mut split);
-                    for &(r, k_re) in &split {
-                        let r = r as State;
-                        keys.push((if extra_initiates { (e, r) } else { (r, e) }, k_re));
-                    }
-                    self.split_scratch = split;
-                }
-                self.state_split_scratch = extras;
-            }
-        }
-
-        // Sparse pairs: one tree split over the enumerated pairs.
-        if k_sparse > 0 {
-            let mut split = std::mem::take(&mut self.split_scratch);
-            split.clear();
-            self.state.sparse.split(k_sparse, &mut self.rng, &mut split);
-            for &(pi, k) in &split {
-                keys.push((self.state.schema.pairs[pi], k));
-            }
-            self.split_scratch = split;
-        }
-
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        keys.clear();
+        let mut split = std::mem::take(&mut self.split_scratch);
+        execute_tasks(
+            &self.state,
+            &tasks,
+            batch_seed,
+            self.threads,
+            b,
+            &mut split,
+            &mut keys,
+        );
+        self.task_scratch = tasks;
+        self.split_scratch = split;
         self.key_scratch = keys;
     }
 
@@ -816,12 +979,14 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         ctl: Option<crate::engine::CountControl>,
     ) {
         let batching = self.batching;
+        let threads = self.threads;
         let mut fresh = CountSimulation::from_counts(self.protocol, counts.to_vec(), 0)
             .expect("snapshot counts do not match this protocol");
         fresh.interactions = interactions;
         fresh.productive = productive;
         fresh.rng = rng;
         fresh.batching = batching;
+        fresh.threads = threads;
         // Batch decisions depend on this control state; restoring it makes
         // a same-engine restore replay the original trajectory exactly.
         // Cross-engine snapshots carry none — the canonical state computed
@@ -1142,6 +1307,38 @@ mod tests {
             s.run_until_silent(u64::MAX).unwrap().interactions
         };
         assert_eq!(run(31), run(31));
+    }
+
+    /// The tentpole invariant: batched trajectories are bit-identical for
+    /// a fixed seed regardless of the thread count. The start spreads the
+    /// population over 16 states so the per-batch draw count clears both
+    /// the parallel threshold and the task-partition granularity — the
+    /// 4-thread run genuinely executes tasks on workers.
+    #[test]
+    fn batched_trajectory_is_identical_across_thread_counts() {
+        let n = 1 << 17;
+        let p = Ag { n };
+        let mut counts = vec![0u32; n];
+        for s in 0..16 {
+            counts[s * (n / 16)] = (n / 16) as u32;
+        }
+        let run = |threads: usize| {
+            let mut s = CountSimulation::from_counts(&p, counts.clone(), 23)
+                .unwrap()
+                .with_threads(threads);
+            let first = s.advance_chain().unwrap();
+            assert!(
+                first >= PARALLEL_MIN_DRAWS,
+                "first batch must clear the parallel threshold (applied {first})"
+            );
+            for _ in 0..40 {
+                s.advance_chain();
+            }
+            (s.interactions(), s.productive_interactions(), s.into_counts())
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4), "1-thread vs 4-thread trajectories differ");
+        assert_eq!(serial, run(3), "1-thread vs 3-thread trajectories differ");
     }
 
     /// A multi-class protocol (equal-rank + extra–extra + symmetric cross,

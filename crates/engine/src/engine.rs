@@ -367,13 +367,72 @@ pub fn make_engine<'a, P>(
 where
     P: crate::protocol::InteractionSchema + ?Sized + 'a,
 {
+    make_engine_threaded(kind, protocol, config, seed, 1)
+}
+
+/// [`make_engine`] with a worker-thread budget for the count engine's
+/// parallel batch splits (0 = one per available core; other kinds ignore
+/// it). Count-engine trajectories are bit-identical for a fixed seed
+/// regardless of `threads` — see
+/// [`CountSimulation::with_threads`](crate::count::CountSimulation::with_threads).
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the engine constructor.
+pub fn make_engine_threaded<'a, P>(
+    kind: EngineKind,
+    protocol: &'a P,
+    config: Vec<State>,
+    seed: u64,
+    threads: usize,
+) -> Result<Box<dyn Engine + 'a>, crate::error::ConfigError>
+where
+    P: crate::protocol::InteractionSchema + ?Sized + 'a,
+{
     Ok(match kind.resolve(protocol.population_size()) {
         EngineKind::Auto => unreachable!("resolve returns a concrete kind"),
         EngineKind::Naive => Box::new(crate::sim::Simulation::new(protocol, config, seed)?),
         EngineKind::Jump => Box::new(crate::jump::JumpSimulation::new(protocol, config, seed)?),
-        EngineKind::Count => {
-            Box::new(crate::count::CountSimulation::new(protocol, config, seed)?)
+        EngineKind::Count => Box::new(
+            crate::count::CountSimulation::new(protocol, config, seed)?.with_threads(threads),
+        ),
+    })
+}
+
+/// Build a boxed engine directly from per-state occupancy counts, skipping
+/// the agent vector entirely. The count and jump engines consume the
+/// counts as-is (`O(#states)` construction); the naive engine expands them
+/// into a state-sorted agent vector. At `n = 10⁹` this is what keeps a
+/// scenario's peak memory at the counts footprint instead of an extra
+/// `4n`-byte agent array.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors from the engine constructor.
+pub fn make_engine_from_counts<'a, P>(
+    kind: EngineKind,
+    protocol: &'a P,
+    counts: Vec<u32>,
+    seed: u64,
+    threads: usize,
+) -> Result<Box<dyn Engine + 'a>, crate::error::ConfigError>
+where
+    P: crate::protocol::InteractionSchema + ?Sized + 'a,
+{
+    Ok(match kind.resolve(protocol.population_size()) {
+        EngineKind::Auto => unreachable!("resolve returns a concrete kind"),
+        EngineKind::Naive => Box::new(crate::sim::Simulation::new(
+            protocol,
+            crate::init::from_counts(&counts),
+            seed,
+        )?),
+        EngineKind::Jump => {
+            Box::new(crate::jump::JumpSimulation::from_counts(protocol, counts, seed)?)
         }
+        EngineKind::Count => Box::new(
+            crate::count::CountSimulation::from_counts(protocol, counts, seed)?
+                .with_threads(threads),
+        ),
     })
 }
 

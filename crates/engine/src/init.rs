@@ -108,6 +108,20 @@ pub fn uniform_random(n: usize, num_states: usize, rng: &mut Xoshiro256) -> Vec<
         .collect()
 }
 
+/// [`uniform_random`] delivered directly as per-state occupancy counts:
+/// the same `n` draws from the same RNG stream (so for a given seed the
+/// multiset of states is identical), but without materialising the
+/// `4n`-byte agent vector — the constructor path count-based engines use
+/// at `n = 10⁸…10⁹`.
+pub fn uniform_random_counts(n: usize, num_states: usize, rng: &mut Xoshiro256) -> Vec<u32> {
+    assert!(num_states > 0, "need at least one state");
+    let mut counts = vec![0u32; num_states];
+    for _ in 0..n {
+        counts[rng.below(num_states as u64) as usize] += 1;
+    }
+    counts
+}
+
 /// All `n` agents stacked in a single state `s` — the extreme adversarial
 /// start (an `(n-1)`-distant configuration when `s` is a rank state).
 pub fn all_in(n: usize, s: State) -> Vec<State> {

@@ -35,7 +35,7 @@
 //! |--------|--------|-----------|----------|
 //! | [`Simulation`] (`naive`) | `O(n)` agent vector | O(1) per *interaction*, nulls included | small `n`; agent-level observers; external [`Scheduler`]s |
 //! | [`JumpSimulation`] (`jump`) | `O(#states)` counts | O(log #states) per *productive* interaction; nulls skipped exactly | long runs near silence; `n ≲ 10⁶` |
-//! | [`CountSimulation`] (`count`) | `O(#states)` counts | amortised **sub-productive-interaction**: far from silence a whole batch of exchangeable steps costs O(occupied) binomial draws, across *every* exchangeable class | `n = 10⁶…10⁹`; scale experiments |
+//! | [`CountSimulation`] (`count`) | `O(#states)` counts (block sums over derived leaves — ≈ `1.1n` bytes of weight overhead beyond the counts) | amortised **sub-productive-interaction**: far from silence a whole batch of exchangeable steps costs O(occupied) binomial draws, across *every* exchangeable class, fanned out over a thread pool with seed-derived per-task RNG streams | `n = 10⁶…10⁹`; scale experiments |
 //!
 //! The naive engine is the literal model — use it as ground truth and for
 //! anything that needs agent identities. The jump engine simulates the
@@ -48,7 +48,13 @@
 //! splits — and falls back to exact jump-chain stepping (same RNG
 //! consumption, identical per-seed trajectory) near silence; its
 //! stabilisation-time distribution is KS-indistinguishable from the other
-//! two (asserted in `tests/cross_simulator.rs`).
+//! two (asserted in `tests/cross_simulator.rs`). Batch splits are
+//! conditionally independent given the class totals, so the count engine
+//! fans them out over a small thread pool
+//! ([`CountSimulation::with_threads`](count::CountSimulation::with_threads),
+//! threaded through [`Scenario::threads`](runner::Scenario::threads) and
+//! `--threads` in the CLI) — with per-task RNG streams derived from the
+//! seed, so a run is bit-identical at any thread count.
 //!
 //! ## Components
 //!
@@ -122,7 +128,10 @@ pub mod schedule;
 pub mod sim;
 
 pub use count::CountSimulation;
-pub use engine::{make_engine, CountObserver, Engine, EngineKind, EngineSnapshot};
+pub use engine::{
+    make_engine, make_engine_from_counts, make_engine_threaded, CountObserver, Engine,
+    EngineKind, EngineSnapshot,
+};
 pub use error::{ConfigError, StabilisationTimeout};
 pub use faults::{perturb_counts, rank_distance, recovery_after_faults, RecoveryReport};
 pub use jump::JumpSimulation;
@@ -131,7 +140,5 @@ pub use protocol::{
     Protocol, State,
 };
 pub use runner::{run_trials, Init, Scenario, TrialConfig, TrialResults};
-#[allow(deprecated)]
-pub use runner::Backend;
 pub use schedule::{ClusteredScheduler, Scheduler, UniformScheduler, ZipfScheduler};
 pub use sim::{Simulation, StabilisationReport};

@@ -42,7 +42,7 @@
 //! assert_eq!(results.success_rate(), 1.0);
 //! ```
 
-use crate::engine::{make_engine, Engine, EngineKind};
+use crate::engine::{make_engine_from_counts, make_engine_threaded, Engine, EngineKind};
 use crate::error::{ConfigError, StabilisationTimeout};
 use crate::init::{self, DuplicatePlacement};
 use crate::protocol::{InteractionSchema, State};
@@ -151,11 +151,6 @@ impl FromIterator<Result<StabilisationReport, StabilisationTimeout>> for TrialRe
     }
 }
 
-/// Deprecated alias for [`EngineKind`] — the separate runner-side enum was
-/// collapsed into the engine-side kind.
-#[deprecated(since = "0.2.0", note = "use `EngineKind` (identical variants)")]
-pub type Backend = EngineKind;
-
 /// Initial-configuration family of a [`Scenario`]. Every variant is
 /// deterministic in the per-trial seed it is given.
 #[derive(Clone, Copy)]
@@ -263,8 +258,12 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
         self
     }
 
-    /// Worker threads for [`run`](Self::run) (0 = one per available
-    /// core; trials are deterministic regardless).
+    /// Worker threads (0 = one per available core, the default). A
+    /// multi-trial [`run`](Self::run) spends them on trial-level
+    /// parallelism; a single-trial scenario hands them to the count
+    /// engine's parallel per-class batch splits instead. Either way every
+    /// result is bit-identical for a fixed base seed regardless of the
+    /// thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -299,9 +298,59 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
         config
     }
 
+    /// The configuration trial `t` starts from, as per-state occupancy
+    /// counts and without materialising the agent vector — available for
+    /// the init families whose counts can be generated directly (and only
+    /// without faults, which address individual agents). Consumes the RNG
+    /// identically to [`trial_config`](Self::trial_config), so the
+    /// resulting multiset of states is the same either way.
+    fn trial_counts(&self, trial: u64) -> Option<Vec<u32>> {
+        if self.faults > 0 {
+            return None;
+        }
+        let config_seed = derive_seed(self.base_seed, trial * 2);
+        let n = self.protocol.population_size();
+        let num_states = self.protocol.num_states();
+        match self.init {
+            Init::Stacked => {
+                let mut counts = vec![0u32; num_states];
+                counts[0] = n as u32;
+                Some(counts)
+            }
+            Init::AllIn(s) => {
+                if (s as usize) >= num_states {
+                    // Fall back to the agent-vector path, which reports
+                    // the out-of-range state as a ConfigError instead of
+                    // an index panic.
+                    return None;
+                }
+                let mut counts = vec![0u32; num_states];
+                counts[s as usize] = n as u32;
+                Some(counts)
+            }
+            Init::Uniform => {
+                let mut rng = Xoshiro256::seed_from_u64(config_seed);
+                Some(init::uniform_random_counts(n, num_states, &mut rng))
+            }
+            Init::Perfect => {
+                let mut counts = vec![0u32; num_states];
+                for slot in counts.iter_mut().take(n) {
+                    *slot = 1;
+                }
+                Some(counts)
+            }
+            Init::KDistant(_) | Init::Custom(_) => None,
+        }
+    }
+
     /// Build the (boxed) engine for trial `trial`, positioned at its start
     /// configuration. Useful for drivers that want to own the run loop
     /// (observers, wall-clock measurement, snapshotting).
+    ///
+    /// Single-trial scenarios pass the scenario's worker threads through
+    /// to the count engine (parallel per-class batch splits); multi-trial
+    /// scenarios keep them for trial-level parallelism. Init families
+    /// whose counts are directly generable skip the agent vector entirely.
     ///
     /// # Errors
     ///
@@ -309,11 +358,26 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
     /// invalid configuration for the protocol.
     pub fn build_engine(&self, trial: u64) -> Result<Box<dyn Engine + 'a>, ConfigError> {
         let sim_seed = derive_seed(self.base_seed, trial * 2 + 1);
-        make_engine(
+        let engine_threads = if self.trials <= 1 {
+            self.effective_threads()
+        } else {
+            1
+        };
+        if let Some(counts) = self.trial_counts(trial) {
+            return make_engine_from_counts(
+                self.engine,
+                self.protocol,
+                counts,
+                sim_seed,
+                engine_threads,
+            );
+        }
+        make_engine_threaded(
             self.engine,
             self.protocol,
             self.trial_config(trial),
             sim_seed,
+            engine_threads,
         )
     }
 
@@ -604,10 +668,31 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn backend_alias_still_names_engine_kinds() {
-        // One-release compatibility shim: `Backend` is `EngineKind`.
-        let b: Backend = Backend::Jump;
-        assert_eq!(b, EngineKind::Jump);
+    fn counts_fast_path_matches_agent_vector_path() {
+        // For the directly-generable init families the counts path must
+        // produce the same multiset as the materialised agent vector (the
+        // uniform family shares the exact RNG draw sequence).
+        let p = Ag { n: 16 };
+        for init in [Init::Stacked, Init::AllIn(3), Init::Uniform, Init::Perfect] {
+            let s = Scenario::new(&p).init(init).base_seed(77);
+            let via_counts = s.trial_counts(0).expect("family supports counts");
+            let via_agents =
+                crate::init::counts(&s.trial_config(0), p.num_states());
+            assert_eq!(via_counts, via_agents, "{init:?}");
+        }
+        // Faults force the agent-vector path (they address agents).
+        assert!(Scenario::new(&p).faults(1).trial_counts(0).is_none());
+        assert!(Scenario::new(&p).init(Init::KDistant(2)).trial_counts(0).is_none());
+    }
+
+    #[test]
+    fn out_of_range_all_in_state_is_a_config_error_not_a_panic() {
+        let p = Ag { n: 8 };
+        let outcome = Scenario::new(&p)
+            .init(Init::AllIn(99))
+            .build_engine(0)
+            .err()
+            .map(|e| e.to_string());
+        assert!(outcome.is_some(), "state 99 must be rejected for 8 states");
     }
 }

@@ -71,11 +71,11 @@ pub mod prelude {
         TreeRanking, LEADER_RANK,
     };
     pub use ssr_engine::{
-        init, make_engine, recovery_after_faults, rng::Xoshiro256, run_trials,
-        validate_interaction_schema, ClassSpec, ClusteredScheduler, CountSimulation,
-        CrossDirection, Engine, EngineKind, Init, InteractionClass, InteractionSchema,
-        JumpSimulation, Protocol, Scenario, Scheduler, Simulation, State, TrialConfig,
-        UniformScheduler, ZipfScheduler,
+        init, make_engine, make_engine_from_counts, make_engine_threaded,
+        recovery_after_faults, rng::Xoshiro256, run_trials, validate_interaction_schema,
+        ClassSpec, ClusteredScheduler, CountSimulation, CrossDirection, Engine, EngineKind,
+        Init, InteractionClass, InteractionSchema, JumpSimulation, Protocol, Scenario,
+        Scheduler, Simulation, State, TrialConfig, UniformScheduler, ZipfScheduler,
     };
     pub use ssr_topology::{BalancedTree, CubicGraph, TrapChain};
 }

@@ -276,6 +276,99 @@ fn count_and_jump_are_trace_identical_on_tree() {
     }
 }
 
+/// The parallel batched path is not a second implementation: the split
+/// work is pre-partitioned into tasks with seed-derived RNG streams and
+/// merged in task order, so a full tree-protocol run must produce the
+/// bit-identical `RunReport` (clocks and final configuration) whether the
+/// tasks execute on one thread or four. `n` is chosen so the reset
+/// epidemic's batches clear the engine's parallel threshold (8192 draws —
+/// asserted below via the advance quantum), i.e. the 4-thread run really
+/// does execute split tasks on worker threads.
+#[test]
+fn count_thread_counts_produce_identical_run_reports() {
+    let n = 1 << 19;
+    let p = TreeRanking::new(n);
+    let run = |threads: usize| {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let cfg = init::uniform_random(n, p.num_states(), &mut rng);
+        let mut s = CountSimulation::new(&p, cfg, 99).unwrap().with_threads(threads);
+        let mut max_quantum = 0u64;
+        while let Some(applied) = s.advance_chain() {
+            max_quantum = max_quantum.max(applied);
+        }
+        assert!(
+            max_quantum >= 8192,
+            "run never reached the parallel batch threshold (max quantum {max_quantum})"
+        );
+        (
+            s.interactions(),
+            s.productive_interactions(),
+            s.into_counts(),
+        )
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4), "1 vs 4 threads: RunReport must be identical");
+}
+
+/// The same invariant through the `Scenario` front door: a single-trial
+/// scenario hands its thread budget to the count engine, and the result
+/// must not depend on it. (Batches at this size stay under the parallel
+/// threshold — this covers the plumbing; the worker-thread path itself is
+/// exercised by `count_thread_counts_produce_identical_run_reports`
+/// above and the engine's unit tests.)
+#[test]
+fn scenario_single_trial_is_thread_count_invariant() {
+    let n = 8192;
+    let p = TreeRanking::new(n);
+    let run = |threads: usize| {
+        Scenario::new(&p)
+            .engine(EngineKind::Count)
+            .init(Init::Uniform)
+            .base_seed(404)
+            .threads(threads)
+            .run_one(0)
+            .unwrap()
+            .interactions
+    };
+    assert_eq!(run(1), run(4));
+}
+
+/// KS test of the batched path under the task-partitioned, derived-stream
+/// split scheme (shared verbatim by the serial and worker-thread branches
+/// — the thread-determinism tests above prove the equivalence) against
+/// the exact jump chain on the tree protocol: the stabilisation-time
+/// distribution must be indistinguishable.
+#[test]
+fn tree_count_parallel_vs_jump_ks_test() {
+    let n = 1000;
+    let p = TreeRanking::new(n);
+    let trials = 200u64;
+    let sample = |kind: EngineKind, seed0: u64| -> Vec<f64> {
+        (0..trials)
+            .map(|t| {
+                let mut rng = Xoshiro256::seed_from_u64(seed0 + t);
+                let cfg = init::uniform_random(n, p.num_states(), &mut rng);
+                let mut e: Box<dyn Engine> = match kind {
+                    EngineKind::Count => Box::new(
+                        CountSimulation::new(&p, cfg, seed0 + t).unwrap().with_threads(4),
+                    ),
+                    _ => make_engine(kind, &p, cfg, seed0 + t).unwrap(),
+                };
+                e.run_until_silent(u64::MAX).unwrap().interactions as f64
+            })
+            .collect()
+    };
+    let jump = sample(EngineKind::Jump, 120_000);
+    let count = sample(EngineKind::Count, 130_000);
+    let r = ssr::analysis::ks::ks_two_sample(&jump, &count);
+    assert!(
+        r.p_value > 0.01,
+        "KS rejected jump vs 4-thread count on tree: D = {:.4}, p = {:.5}",
+        r.statistic,
+        r.p_value
+    );
+}
+
 /// All engines agree on the unique silent support from a common start.
 #[test]
 fn all_three_engines_reach_the_same_silent_support() {
