@@ -75,10 +75,12 @@ impl SweepOptions {
         self
     }
 
-    /// Set the worker threads (0 = one per available core). Multi-trial
-    /// grid points parallelise across trials; single-trial points hand
-    /// the budget to the count engine's batch splits. Results are
-    /// deterministic in the base seed regardless.
+    /// Set the core budget (0 = one per available core). Each grid point
+    /// splits it across concurrent trials and the count engine's batch
+    /// splits via `Scenario::thread_split` — many trials run
+    /// trial-parallel, single-trial points hand the whole budget to the
+    /// engine's persistent worker pool, and in between both levels get a
+    /// share. Results are deterministic in the base seed regardless.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self

@@ -186,11 +186,14 @@ fn bench_count_batching(c: &mut Criterion) {
     let mut group = c.benchmark_group("count_batching_ag_n65536");
     group.throughput(Throughput::Elements(budget));
     group.sample_size(10);
-    // `batched_t2` runs the same trajectory with 2-thread per-class
-    // splits (bit-identical results; the delta is pure wall-clock).
-    for (label, batching, threads) in
-        [("batched", true, 1), ("batched_t2", true, 2), ("exact", false, 1)]
-    {
+    // `batched_pool_t2` runs the same trajectory with 2-thread per-class
+    // splits on the persistent worker pool (bit-identical results; the
+    // delta vs pool-off `batched` is pure wall-clock + dispatch cost).
+    for (label, batching, threads) in [
+        ("batched", true, 1),
+        ("batched_pool_t2", true, 2),
+        ("exact", false, 1),
+    ] {
         group.bench_function(label, |b| {
             b.iter_batched(
                 || {
@@ -240,6 +243,39 @@ fn bench_primitives(c: &mut Criterion) {
     });
 }
 
+fn bench_tree_geometry(c: &mut Criterion) {
+    use ssr_topology::balanced_tree::MaterialisedTree;
+    let mut group = c.benchmark_group("tree_geometry");
+    // Implicit construction only iterates the level-size sequence —
+    // measure it at a size no materialised build could touch (a
+    // 2³⁰-node materialised tree would need ~28 GiB of arrays).
+    group.bench_function("implicit_build_n2_30", |b| {
+        b.iter(|| black_box(BalancedTree::new(1 << 30)))
+    });
+    group.bench_function("materialised_build_n65536", |b| {
+        b.iter(|| black_box(MaterialisedTree::new(65536)))
+    });
+    // Query cost: the §5 hot-loop triple (kind, subtree size, parent) at
+    // random nodes — O(log n) descents against the oracle's O(1) array
+    // reads, the price paid for dropping the arrays entirely.
+    let t = BalancedTree::new(1 << 30);
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    group.bench_function("implicit_queries_n2_30", |b| {
+        b.iter(|| {
+            let p = rng.below(1 << 30) as usize;
+            black_box((t.kind(p), t.subtree_size(p), t.parent(p)))
+        })
+    });
+    let o = MaterialisedTree::new(65536);
+    group.bench_function("materialised_queries_n65536", |b| {
+        b.iter(|| {
+            let p = rng.below(65536) as usize;
+            black_box((o.kind(p), o.subtree_size(p), o.parent(p)))
+        })
+    });
+    group.finish();
+}
+
 fn bench_construction(c: &mut Criterion) {
     c.bench_function("balanced_tree_n65536", |b| {
         b.iter(|| black_box(BalancedTree::new(65536)))
@@ -259,6 +295,7 @@ criterion_group!(
     bench_jump_throughput,
     bench_count_batching,
     bench_primitives,
+    bench_tree_geometry,
     bench_construction
 );
 criterion_main!(benches);

@@ -4,12 +4,16 @@
 //! grid stops at `n = 16384`. The count engine batches **every**
 //! interaction class of the tree protocol's schema — equal-rank dispersal,
 //! the buffer epidemic (extra–extra), and the reset/re-enter cross class —
-//! and splits each batch's per-class work across a thread pool
-//! (`SSR_THREADS`, results bit-identical per seed regardless), with the
-//! weight state slimmed to block sums over derived leaves. Together that
-//! pushes the grid to **`n = 2³⁰ ≈ 1.07·10⁹` agents in a single run**
-//! (quick mode stops at `n = 16384`); memory stays `O(#states)` with
-//! ≈ `1.1n` bytes of weight-tree overhead beyond the `4n`-byte counts.
+//! and splits each batch's per-class work across a **persistent worker
+//! pool** (`SSR_THREADS`, results bit-identical per seed regardless),
+//! with the weight state slimmed to block sums over derived leaves and
+//! the tree geometry computed implicitly (a constant-size struct instead
+//! of seven `O(n)` arrays). Together that pushes the grid to
+//! **`n = 2³¹ ≈ 2.1·10⁹` agents in a single run**, with `n = 2³³` behind
+//! `SSR_SCALE_MAX_LOG2` (quick mode stops at `n = 16384`); memory stays
+//! `O(#states)` with ≈ `1.1n` bytes of weight-tree overhead beyond the
+//! `4n`-byte counts — the printed per-component memory model breaks this
+//! down per grid top.
 //!
 //! The smallest grid point is cross-checked against the exact jump engine;
 //! both the raw exponent (should hover just above 1) and the log-corrected
@@ -32,6 +36,36 @@ use ssr_engine::{EngineKind, Init, Protocol, Scenario};
 /// same again and the uniform medians are what the fit consumes).
 const STACKED_MAX_N: usize = 1 << 27;
 
+/// Per-component model of the count engine's resident state for the tree
+/// protocol, mirroring the engine's actual layout: occupancy counts
+/// (4 B/state), two block-sum trees over derived weight leaves (one `u64`
+/// per 64 rank states, heap layout padded to a power of two), the
+/// equal-rank membership bitset, and the tree geometry. The geometry term
+/// is the story of this experiment's scaling history: the original
+/// materialised build stored seven `u32` arrays (≈ 28n bytes — more than
+/// the counts themselves), PR 5 slimmed the weight state to ≈ 1.1n bytes
+/// of block sums, and the implicit tree now answers every geometric query
+/// from a constant-size struct.
+fn print_memory_model(n: usize) {
+    let p = TreeRanking::new(n);
+    let states = Protocol::num_states(&p) as u64;
+    let blocks = n.div_ceil(64).next_power_of_two() as u64;
+    let counts = 4 * states;
+    let block_trees = 2 * (2 * blocks * 8); // eq + rank_occ heap layouts
+    let bitset = (n as u64).div_ceil(64) * 8;
+    let geometry = std::mem::size_of_val(p.tree()) as u64;
+    let materialised = 28 * n as u64;
+    println!(
+        "memory model at n = {n}: counts {} + weight block sums {} + eq bitset {} + \
+         tree geometry {geometry} B (a materialised tree would add {}) ≈ {} resident",
+        format_bytes(counts),
+        format_bytes(block_trees),
+        format_bytes(bitset),
+        format_bytes(materialised),
+        format_bytes(counts + block_trees + bitset + geometry),
+    );
+}
+
 fn main() {
     print_header(
         "E3+: tree protocol at scale (count engine, parallel per-class batching)",
@@ -46,7 +80,10 @@ fn main() {
     let ns: Vec<f64> = if ssr_bench::quick() {
         vec![1024.0, 4096.0, 16384.0]
     } else {
-        [14u32, 16, 18, 20, 22, 24, 26, 27, 28, 30]
+        // 2³¹ crosses the u64 interaction-clock boundary (the engine
+        // counts in u128); 2³³ is the current feasibility frontier —
+        // both stay behind SSR_SCALE_MAX_LOG2 (default 30).
+        [14u32, 16, 18, 20, 22, 24, 26, 27, 28, 30, 31, 33]
             .iter()
             .filter(|&&log2| log2 <= max_log2)
             .map(|&log2| (1u64 << log2) as f64)
@@ -122,6 +159,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    print_memory_model(*ns.last().unwrap() as usize);
     if threads != 1 {
         println!(
             "(per-class batch splits on {} threads; identical results at any thread count)",

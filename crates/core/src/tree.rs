@@ -155,25 +155,36 @@ impl TreeRanking {
             arrive[p] += c as u64;
         }
         let mut settled = vec![0u64; self.n];
+        // Walk nodes 0..n in pre-order (= id order), tracking each node's
+        // subtree size with a stack of pending right-subtree sizes rather
+        // than one O(log n) geometry descent per node: O(n) total, and no
+        // per-node queries against the (implicit) tree.
+        let mut size = self.n;
+        let mut pending: Vec<usize> = Vec::with_capacity(self.tree.height() as usize + 1);
         for p in 0..self.n {
             let a = arrive[p];
-            match self.tree.kind(p) {
-                NodeKind::Leaf => settled[p] = a,
-                NodeKind::NonBranching => {
-                    settled[p] = a.min(1);
-                    if a > 1 {
-                        arrive[p + 1] += a - 1;
-                    }
+            if size == 1 {
+                // Leaf: keeps everything that reaches it.
+                settled[p] = a;
+                size = pending.pop().unwrap_or(0);
+            } else if size.is_multiple_of(2) {
+                // Non-branching: keep one, pass the rest down the chain.
+                settled[p] = a.min(1);
+                if a > 1 {
+                    arrive[p + 1] += a - 1;
                 }
-                NodeKind::Branching => {
-                    settled[p] = a % 2;
-                    let half = a / 2;
-                    if half > 0 {
-                        let l = self.tree.branch_half(p);
-                        arrive[p + 1] += half;
-                        arrive[p + l + 1] += half;
-                    }
+                size -= 1;
+            } else {
+                // Branching: keep the parity bit, split the rest in half.
+                settled[p] = a % 2;
+                let l = (size - 1) / 2;
+                let half = a / 2;
+                if half > 0 {
+                    arrive[p + 1] += half;
+                    arrive[p + l + 1] += half;
                 }
+                pending.push(l);
+                size = l;
             }
         }
         settled
@@ -196,9 +207,9 @@ impl TreeRanking {
         if (s as usize) < self.n {
             let p = s as usize;
             let kind = match self.tree.kind(p) {
-                ssr_topology::NodeKind::Branching => "branching",
-                ssr_topology::NodeKind::NonBranching => "non-branching",
-                ssr_topology::NodeKind::Leaf => "leaf",
+                NodeKind::Branching => "branching",
+                NodeKind::NonBranching => "non-branching",
+                NodeKind::Leaf => "leaf",
             };
             format!("node {p} ({kind}, depth {})", self.tree.depth(p))
         } else {
@@ -238,16 +249,19 @@ impl Protocol for TreeRanking {
                     return None;
                 }
                 let p = initiator as usize;
-                match self.tree.kind(p) {
+                // One O(log n) descent: the node kind and the branching
+                // half-size both derive from the subtree size.
+                let s = self.tree.subtree_size(p);
+                if s == 1 {
                     // R2: leaf overload raises the reset signal.
-                    NodeKind::Leaf => Some((self.x(1), self.x(1))),
+                    Some((self.x(1), self.x(1)))
+                } else if s.is_multiple_of(2) {
                     // R1 on a non-branching node.
-                    NodeKind::NonBranching => Some((initiator, initiator + 1)),
+                    Some((initiator, initiator + 1))
+                } else {
                     // R1 on a branching node: both agents descend.
-                    NodeKind::Branching => {
-                        let l = self.tree.branch_half(p) as State;
-                        Some((initiator + 1, initiator + l + 1))
-                    }
+                    let l = ((s - 1) / 2) as State;
+                    Some((initiator + 1, initiator + l + 1))
                 }
             }
             (false, false) => {
@@ -400,7 +414,7 @@ mod tests {
                 vec![0; p.population_size()]
             })),
             ("all on a leaf", Box::new(|p: &TreeRanking| {
-                let leaf = p.tree().leaves()[0] as u32;
+                let leaf = p.tree().leaves_iter().next().unwrap() as u32;
                 vec![leaf; p.population_size()]
             })),
             ("all red X₁", Box::new(|p: &TreeRanking| {
@@ -517,7 +531,6 @@ mod modified_tests {
         let mut rng = Xoshiro256::seed_from_u64(91);
         for n in [9usize, 25, 64] {
             let p = TreeRanking::new(n).as_modified();
-            let leaves = p.tree().leaves();
             for trial in 0..4 {
                 let cfg = init::uniform_random(n, Protocol::num_states(&p), &mut rng);
                 let mut sim = JumpSimulation::new(&p, cfg, trial).unwrap();
@@ -529,7 +542,7 @@ mod modified_tests {
                         outcome = Some("silent");
                         break;
                     }
-                    if leaves.iter().any(|&l| sim.counts()[l] >= 2) {
+                    if p.tree().leaves_iter().any(|l| sim.counts()[l] >= 2) {
                         outcome = Some("leaf overload");
                         break;
                     }

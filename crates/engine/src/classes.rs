@@ -790,6 +790,34 @@ impl ClassState {
         })
     }
 
+    /// A cheap zero-population placeholder, used by the count engine's
+    /// worker pool to move the real state into a shared batch job (and
+    /// back) without cloning it. Never sampled from.
+    pub fn placeholder() -> Self {
+        ClassState {
+            schema: CompiledSchema {
+                eq: false,
+                eq_exchangeable: false,
+                has_eq: Vec::new(),
+                xx: false,
+                xx_exchangeable: false,
+                cross: None,
+                cross_exchangeable: false,
+                pairs: Vec::new(),
+                pairs_exchangeable: false,
+                pairs_by_state: Vec::new(),
+            },
+            counts: Vec::new(),
+            num_ranks: 0,
+            eq: BlockTree::new(0),
+            rank_occ: BlockTree::new(0),
+            sparse: WeightTree::new(0),
+            rank_agents: 0,
+            extra_agents: 0,
+            max_eq_bound: 0,
+        }
+    }
+
     /// Equal-rank leaf weight of rank state `s`, derived from the current
     /// occupancy.
     #[inline]

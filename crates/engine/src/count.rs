@@ -47,7 +47,7 @@
 //! that step. Correctness near silence is therefore always the exact jump
 //! chain.
 //!
-//! ## Parallel per-class splits
+//! ## Parallel per-class splits on a persistent worker pool
 //!
 //! Within one batch the per-class splits are conditionally independent
 //! given the class totals, so they can run on separate threads. The batch
@@ -60,6 +60,16 @@
 //! task order, so a run is **bit-identical for a fixed seed regardless of
 //! the thread count** (including one) — see
 //! [`CountSimulation::with_threads`].
+//!
+//! The worker threads are spawned **once per engine** (in `with_threads`)
+//! and parked on std mpsc channels between batches, not re-spawned per
+//! batch. Each eligible batch moves the frozen weight state and the task
+//! list into a shared, reference-counted job, wakes the workers with one
+//! channel send each, joins them through a done channel, and recovers the
+//! state by unwrapping the job — no `unsafe`, no external crates, and the
+//! per-batch dispatch cost is a few channel operations instead of a
+//! thread spawn. That lowers the draws threshold at which parallelism
+//! pays (see `POOL_MIN_DRAWS_PER_WORKER`).
 //!
 //! # Examples
 //!
@@ -102,6 +112,8 @@ use crate::init;
 use crate::protocol::{CrossDirection, InteractionSchema, State};
 use crate::rng::{derive_seed, Xoshiro256};
 use crate::sim::StabilisationReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 pub use crate::classes::WeightTree;
 
@@ -127,9 +139,14 @@ const MAX_REFRESH_INTERVAL: u32 = 32;
 /// trajectory never depends on how many workers execute the tasks.
 const PARTITION_TASK_DRAWS: u64 = 4096;
 
-/// Batches below this many draws run their tasks on the calling thread —
-/// thread-spawn overhead would dominate the split work.
-const PARALLEL_MIN_DRAWS: u64 = 8192;
+/// Batches below this many draws **per participating thread** run their
+/// tasks on the calling thread. The threshold adapts to the thread count:
+/// with the persistent pool a dispatch costs a few channel operations and
+/// a worker wake-up (microseconds), far below the old per-batch
+/// `thread::scope` spawn tax, so parallelism pays off at roughly a
+/// quarter of the former fixed 8192-draw floor. Affects wall-clock only —
+/// the trajectory is identical either way.
+const POOL_MIN_DRAWS_PER_WORKER: u64 = 1024;
 
 /// One coalesced group of identical rewrites applied by a batch step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -308,57 +325,208 @@ fn run_split_task(
     }
 }
 
-/// Run every task — serially, or fanned out over up to `threads` scoped
-/// workers when the batch is big enough to amortise the spawns — and merge
-/// the outputs in task order. Task `i` always draws from the stream
+/// One batch's shared job: the frozen weight state, the planned task
+/// list, a work-stealing cursor, and one output slot per task. Ownership
+/// of the state travels with the job — the engine moves it in, every
+/// participating thread runs tasks against it through the `Arc`, and the
+/// engine unwraps the `Arc` to move it back out. This is what lets
+/// long-lived (`'static`) pool workers borrow per-batch data without
+/// `unsafe`.
+struct BatchJob {
+    state: ClassState,
+    tasks: Vec<SplitTask>,
+    batch_seed: u64,
+    next: AtomicUsize,
+    slots: Vec<Mutex<Vec<KeyGroup>>>,
+}
+
+/// Claim and run tasks off `job` until the cursor is exhausted. Task `i`
+/// always draws from `derive_seed(batch_seed, 1 + i)` and writes slot
+/// `i`, so outputs are scheduling-independent. Shared by the coordinator
+/// thread and every pool worker.
+fn run_job_tasks(job: &BatchJob, split: &mut Vec<(usize, u64)>) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.tasks.len() {
+            break;
+        }
+        let mut rng = Xoshiro256::seed_from_u64(derive_seed(job.batch_seed, 1 + i as u64));
+        // Recycle the slot's previous-batch allocation.
+        let mut buf = std::mem::take(&mut *job.slots[i].lock().expect("slot poisoned"));
+        buf.clear();
+        run_split_task(&job.state, &job.tasks[i], &mut rng, split, &mut buf);
+        *job.slots[i].lock().expect("slot poisoned") = buf;
+    }
+}
+
+/// Signals batch completion to the coordinator when dropped — even if the
+/// worker panics mid-task, so the coordinator never deadlocks waiting for
+/// a dead worker. Releases the worker's handle on the shared job *before*
+/// signalling, so once the coordinator has collected every signal it
+/// holds the only reference and can unwrap the `Arc`.
+struct JobGuard<'a> {
+    job: Option<Arc<BatchJob>>,
+    done: &'a mpsc::Sender<bool>,
+    ok: bool,
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        self.job = None;
+        let _ = self.done.send(self.ok);
+    }
+}
+
+/// Body of one persistent pool worker: park on the job channel, run tasks
+/// from each job that arrives, signal completion. Exits when the engine
+/// (and with it the sender) is dropped.
+fn worker_loop(rx: mpsc::Receiver<Arc<BatchJob>>, done: mpsc::Sender<bool>) {
+    let mut split: Vec<(usize, u64)> = Vec::new();
+    while let Ok(job) = rx.recv() {
+        let mut guard = JobGuard {
+            job: Some(job),
+            done: &done,
+            ok: false,
+        };
+        run_job_tasks(guard.job.as_ref().expect("job just stored"), &mut split);
+        guard.ok = true;
+    }
+}
+
+/// A persistent pool of parked split workers, created once per engine by
+/// [`CountSimulation::with_threads`] and reused for every eligible batch
+/// (it survives snapshot restores). Pure std: mpsc channels for dispatch
+/// and completion, no `unsafe`, no busy-waiting — idle workers block in
+/// `recv`.
+struct WorkerPool {
+    /// One dispatch channel per worker.
+    senders: Vec<mpsc::Sender<Arc<BatchJob>>>,
+    /// Completion signals (`true` = worker finished its share cleanly).
+    done_rx: mpsc::Receiver<bool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Recycled per-task output slots (kept across batches so slot `Vec`s
+    /// amortise their allocations).
+    slots_scratch: Vec<Mutex<Vec<KeyGroup>>>,
+}
+
+impl WorkerPool {
+    /// Spawn `helpers` parked worker threads (the coordinator thread also
+    /// runs tasks, so an engine with `threads = t` builds a pool of
+    /// `t − 1` helpers).
+    fn new(helpers: usize) -> Self {
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut senders = Vec::with_capacity(helpers);
+        let mut handles = Vec::with_capacity(helpers);
+        for _ in 0..helpers {
+            let (tx, rx) = mpsc::channel::<Arc<BatchJob>>();
+            let done = done_tx.clone();
+            handles.push(std::thread::spawn(move || worker_loop(rx, done)));
+            senders.push(tx);
+        }
+        WorkerPool {
+            senders,
+            done_rx,
+            handles,
+            slots_scratch: Vec::new(),
+        }
+    }
+
+    /// Helper workers in the pool (total parallelism is one more: the
+    /// coordinator participates).
+    fn helpers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Run `tasks` against `state` on the pool plus the calling thread and
+    /// append the outputs to `out` in task order. `state` and `tasks` are
+    /// moved into the shared job for the duration and moved back out
+    /// before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worker panicked while running a split task.
+    fn execute(
+        &mut self,
+        state: &mut ClassState,
+        tasks: &mut Vec<SplitTask>,
+        batch_seed: u64,
+        split: &mut Vec<(usize, u64)>,
+        out: &mut Vec<KeyGroup>,
+    ) {
+        let mut slots = std::mem::take(&mut self.slots_scratch);
+        if slots.len() > tasks.len() {
+            slots.truncate(tasks.len());
+        } else {
+            slots.resize_with(tasks.len(), || Mutex::new(Vec::new()));
+        }
+        let job = Arc::new(BatchJob {
+            state: std::mem::replace(state, ClassState::placeholder()),
+            tasks: std::mem::take(tasks),
+            batch_seed,
+            next: AtomicUsize::new(0),
+            slots,
+        });
+        let mut dispatched = 0usize;
+        for tx in &self.senders {
+            if tx.send(Arc::clone(&job)).is_ok() {
+                dispatched += 1;
+            }
+        }
+        run_job_tasks(&job, split);
+        let mut ok = true;
+        for _ in 0..dispatched {
+            ok &= self.done_rx.recv().unwrap_or(false);
+        }
+        // Every worker released its handle before signalling, so the
+        // coordinator now holds the only reference.
+        let job = Arc::try_unwrap(job)
+            .unwrap_or_else(|_| panic!("a worker still holds the batch job"));
+        *state = job.state;
+        *tasks = job.tasks;
+        let mut slots = job.slots;
+        assert!(ok, "split worker panicked");
+        for slot in &mut slots {
+            out.append(slot.get_mut().expect("slot poisoned"));
+        }
+        self.slots_scratch = slots;
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the dispatch channels wakes every parked worker into a
+        // clean exit; then reap the threads.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Run every task — serially, or on the persistent pool when one exists
+/// and the batch is big enough for the dispatch to pay — and merge the
+/// outputs in task order. Task `i` always draws from the stream
 /// `derive_seed(batch_seed, 1 + i)`, so the merged keys are identical for
 /// every thread count.
 fn execute_tasks(
-    state: &ClassState,
-    tasks: &[SplitTask],
+    state: &mut ClassState,
+    tasks: &mut Vec<SplitTask>,
     batch_seed: u64,
-    threads: usize,
+    pool: Option<&mut WorkerPool>,
     b: u64,
     split_scratch: &mut Vec<(usize, u64)>,
     out: &mut Vec<KeyGroup>,
 ) {
-    let task_rng =
-        |i: usize| Xoshiro256::seed_from_u64(derive_seed(batch_seed, 1 + i as u64));
-    let workers = threads.min(tasks.len());
-    if workers <= 1 || b < PARALLEL_MIN_DRAWS {
-        for (i, task) in tasks.iter().enumerate() {
-            run_split_task(state, task, &mut task_rng(i), split_scratch, out);
+    if let Some(pool) = pool {
+        let engaged = (pool.helpers() + 1).min(tasks.len());
+        if engaged > 1 && b >= POOL_MIN_DRAWS_PER_WORKER * engaged as u64 {
+            pool.execute(state, tasks, batch_seed, split_scratch, out);
+            return;
         }
-        return;
     }
-    // Scoped workers are spawned per eligible batch (std-only; a
-    // persistent pool would need unsafe or an external crate — the spawn
-    // cost is bounded by PARALLEL_MIN_DRAWS and amortises as b grows;
-    // see ROADMAP). Each slot is written once by whichever worker pulls
-    // the task, then drained in task order.
-    let slots: Vec<std::sync::Mutex<Vec<KeyGroup>>> =
-        tasks.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let next = &next;
-            let slots = &slots;
-            scope.spawn(move || {
-                let mut split: Vec<(usize, u64)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= tasks.len() {
-                        break;
-                    }
-                    let mut buf = Vec::new();
-                    run_split_task(state, &tasks[i], &mut task_rng(i), &mut split, &mut buf);
-                    *slots[i].lock().expect("split worker panicked") = buf;
-                }
-            });
-        }
-    });
-    for slot in slots {
-        out.append(&mut slot.into_inner().expect("split worker panicked"));
+    for (i, task) in tasks.iter().enumerate() {
+        let mut rng = Xoshiro256::seed_from_u64(derive_seed(batch_seed, 1 + i as u64));
+        run_split_task(state, task, &mut rng, split_scratch, out);
     }
 }
 
@@ -370,9 +538,12 @@ fn execute_tasks(
 pub struct CountSimulation<'a, P: InteractionSchema + ?Sized> {
     protocol: &'a P,
     state: ClassState,
-    interactions: u64,
+    /// Interaction clock, `u128` so populations beyond `n = 2³⁰` cannot
+    /// wrap it: total interactions to silence grow like `n² log n / W`
+    /// draws and pass `u64::MAX ≈ 1.8·10¹⁹` around `n = 2³¹`.
+    interactions: u128,
     productive: u64,
-    ordered_pairs: u64,
+    ordered_pairs: u128,
     rng: Xoshiro256,
     batching: bool,
     batches_since_refresh: u32,
@@ -382,6 +553,10 @@ pub struct CountSimulation<'a, P: InteractionSchema + ?Sized> {
     /// Worker threads for batch splits (1 = everything on the calling
     /// thread). Never affects the trajectory, only wall-clock.
     threads: usize,
+    /// Persistent parked workers backing `threads > 1`; created once in
+    /// [`with_threads`](Self::with_threads) and reused for every eligible
+    /// batch (and across snapshot restores).
+    pool: Option<WorkerPool>,
     task_scratch: Vec<SplitTask>,
     split_scratch: Vec<(usize, u64)>,
     key_scratch: Vec<KeyGroup>,
@@ -425,12 +600,13 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
             state,
             interactions: 0,
             productive: 0,
-            ordered_pairs: (n as u64) * (n as u64).saturating_sub(1),
+            ordered_pairs: (n as u128) * (n as u128).saturating_sub(1),
             rng: Xoshiro256::seed_from_u64(seed),
             batching: true,
             batches_since_refresh: 0,
             exact_steps_until_recheck: 0,
             threads: 1,
+            pool: None,
             task_scratch: Vec::new(),
             split_scratch: Vec::new(),
             key_scratch: Vec::new(),
@@ -455,10 +631,13 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
     /// Set the number of worker threads for batch splits (0 = one per
     /// available core, 1 = serial, the default).
     ///
-    /// Each batch's per-class split work is pre-partitioned into tasks
-    /// with their own seed-derived RNG streams and merged in task order,
-    /// so for a fixed seed the trajectory is **bit-identical regardless of
-    /// the thread count** — threads buy wall-clock, never change results.
+    /// For `threads > 1` this spawns a **persistent pool** of
+    /// `threads − 1` parked workers that lives as long as the engine; the
+    /// calling thread coordinates and runs tasks too. Each batch's
+    /// per-class split work is pre-partitioned into tasks with their own
+    /// seed-derived RNG streams and merged in task order, so for a fixed
+    /// seed the trajectory is **bit-identical regardless of the thread
+    /// count** — threads buy wall-clock, never change results.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = if threads == 0 {
             std::thread::available_parallelism()
@@ -467,6 +646,11 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         } else {
             threads
         };
+        let helpers = self.threads - 1;
+        let rebuild = self.pool.as_ref().map(WorkerPool::helpers) != Some(helpers);
+        if rebuild {
+            self.pool = (helpers > 0).then(|| WorkerPool::new(helpers));
+        }
         self
     }
 
@@ -481,8 +665,15 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
     }
 
     /// Total interactions simulated (nulls included, exact in
-    /// distribution).
+    /// distribution), saturating at `u64::MAX`. The internal clock is
+    /// `u128` (see [`interactions_wide`](Self::interactions_wide)):
+    /// beyond `n ≈ 2³¹` a full run exceeds `u64::MAX` total interactions.
     pub fn interactions(&self) -> u64 {
+        self.interactions.min(u64::MAX as u128) as u64
+    }
+
+    /// Total interactions simulated, full-width.
+    pub fn interactions_wide(&self) -> u128 {
         self.interactions
     }
 
@@ -491,7 +682,8 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         self.productive
     }
 
-    /// Parallel time elapsed: interactions / n.
+    /// Parallel time elapsed: interactions / n (computed from the
+    /// full-width clock, so it stays exact past `u64::MAX` interactions).
     pub fn parallel_time(&self) -> f64 {
         self.interactions as f64 / self.protocol.population_size() as f64
     }
@@ -518,9 +710,9 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         if w == 0 {
             return None;
         }
-        debug_assert!(w <= self.ordered_pairs);
+        debug_assert!(w as u128 <= self.ordered_pairs);
         let p = w as f64 / self.ordered_pairs as f64;
-        self.interactions += self.rng.geometric(p) + 1;
+        self.interactions += (self.rng.geometric(p) + 1) as u128;
         self.productive += 1;
 
         let (si, sr) = self.state.sample_pair(&mut self.rng);
@@ -724,10 +916,10 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         keys.clear();
         let mut split = std::mem::take(&mut self.split_scratch);
         execute_tasks(
-            &self.state,
-            &tasks,
+            &mut self.state,
+            &mut tasks,
             batch_seed,
-            self.threads,
+            self.pool.as_mut(),
             b,
             &mut split,
             &mut keys,
@@ -826,7 +1018,8 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         }
         debug_assert!(applied_total > 0, "batch applied nothing despite W > 0");
         self.productive += applied_total;
-        self.interactions += applied_total + self.rng.neg_binomial(applied_total, p);
+        self.interactions +=
+            (applied_total + self.rng.neg_binomial(applied_total, p)) as u128;
 
         self.key_scratch = keys;
         self.group_scratch = groups;
@@ -845,7 +1038,9 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
     }
 
     /// Run until silent or until more than `max_interactions` have
-    /// elapsed. Semantics match the jump simulator.
+    /// elapsed. Semantics match the jump simulator. `u64::MAX` means
+    /// *unbounded* (the internal clock is `u128` and can legitimately
+    /// pass `u64::MAX` at `n ≥ 2³¹`).
     ///
     /// # Errors
     ///
@@ -854,11 +1049,16 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         &mut self,
         max_interactions: u64,
     ) -> Result<StabilisationReport, StabilisationTimeout> {
+        let cap = if max_interactions == u64::MAX {
+            u128::MAX
+        } else {
+            max_interactions as u128
+        };
         loop {
             if self.is_silent() {
-                if self.interactions <= max_interactions {
+                if self.interactions <= cap {
                     return Ok(StabilisationReport {
-                        interactions: self.interactions,
+                        interactions: self.interactions(),
                         productive_interactions: self.productive,
                         parallel_time: self.parallel_time(),
                     });
@@ -867,9 +1067,9 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
                     interactions: max_interactions,
                 });
             }
-            if self.interactions >= max_interactions {
+            if self.interactions >= cap {
                 return Err(StabilisationTimeout {
-                    interactions: self.interactions,
+                    interactions: self.interactions(),
                 });
             }
             self.advance_chain();
@@ -889,11 +1089,16 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         max_interactions: u64,
         observer: &mut dyn CountObserver,
     ) -> Result<StabilisationReport, StabilisationTimeout> {
+        let cap = if max_interactions == u64::MAX {
+            u128::MAX
+        } else {
+            max_interactions as u128
+        };
         loop {
             if self.is_silent() {
-                if self.interactions <= max_interactions {
+                if self.interactions <= cap {
                     return Ok(StabilisationReport {
-                        interactions: self.interactions,
+                        interactions: self.interactions(),
                         productive_interactions: self.productive,
                         parallel_time: self.parallel_time(),
                     });
@@ -902,9 +1107,9 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
                     interactions: max_interactions,
                 });
             }
-            if self.interactions >= max_interactions {
+            if self.interactions >= cap {
                 return Err(StabilisationTimeout {
-                    interactions: self.interactions,
+                    interactions: self.interactions(),
                 });
             }
             match self.decide_batch() {
@@ -913,7 +1118,7 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
                     let groups = std::mem::take(&mut self.group_scratch);
                     for g in &groups {
                         observer.on_productive(
-                            self.interactions,
+                            self.interactions(),
                             g.before,
                             g.after,
                             g.applied,
@@ -925,7 +1130,7 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
                 None => {
                     if let Some((before, after)) = self.step_productive() {
                         observer.on_productive(
-                            self.interactions,
+                            self.interactions(),
                             before,
                             after,
                             1,
@@ -982,11 +1187,15 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         let threads = self.threads;
         let mut fresh = CountSimulation::from_counts(self.protocol, counts.to_vec(), 0)
             .expect("snapshot counts do not match this protocol");
-        fresh.interactions = interactions;
+        fresh.interactions = interactions as u128;
         fresh.productive = productive;
         fresh.rng = rng;
         fresh.batching = batching;
         fresh.threads = threads;
+        // The persistent pool survives restores — workers are stateless
+        // between batches, so handing the existing pool to the restored
+        // engine is free and avoids a re-spawn.
+        fresh.pool = self.pool.take();
         // Batch decisions depend on this control state; restoring it makes
         // a same-engine restore replay the original trajectory exactly.
         // Cross-engine snapshots carry none — the canonical state computed
@@ -1014,7 +1223,7 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for CountSimulation<'_
     }
 
     fn interactions(&self) -> u64 {
-        self.interactions
+        CountSimulation::interactions(self)
     }
 
     fn productive_interactions(&self) -> u64 {
@@ -1054,7 +1263,7 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for CountSimulation<'_
         crate::engine::EngineSnapshot {
             agents: None,
             counts: self.state.counts.clone(),
-            interactions: self.interactions,
+            interactions: CountSimulation::interactions(self),
             productive: self.productive,
             rng: self.rng_clone(),
             count_ctl: Some(crate::engine::CountControl {
@@ -1312,8 +1521,8 @@ mod tests {
     /// The tentpole invariant: batched trajectories are bit-identical for
     /// a fixed seed regardless of the thread count. The start spreads the
     /// population over 16 states so the per-batch draw count clears both
-    /// the parallel threshold and the task-partition granularity — the
-    /// 4-thread run genuinely executes tasks on workers.
+    /// the pool-dispatch threshold and the task-partition granularity —
+    /// the multi-thread runs genuinely execute tasks on pool workers.
     #[test]
     fn batched_trajectory_is_identical_across_thread_counts() {
         let n = 1 << 17;
@@ -1328,8 +1537,8 @@ mod tests {
                 .with_threads(threads);
             let first = s.advance_chain().unwrap();
             assert!(
-                first >= PARALLEL_MIN_DRAWS,
-                "first batch must clear the parallel threshold (applied {first})"
+                first >= POOL_MIN_DRAWS_PER_WORKER * threads as u64,
+                "first batch must clear the pool threshold (applied {first})"
             );
             for _ in 0..40 {
                 s.advance_chain();
@@ -1339,6 +1548,60 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, run(4), "1-thread vs 4-thread trajectories differ");
         assert_eq!(serial, run(3), "1-thread vs 3-thread trajectories differ");
+    }
+
+    /// Pool regression: a **long** run (hundreds of batches re-using the
+    /// same parked workers, all the way into the exact-mode tail and
+    /// silence) is bit-identical under the persistent pool and under
+    /// serial execution. The task plan, per-task RNG streams, and merge
+    /// order are unchanged from the per-batch scoped-spawn implementation,
+    /// so this also pins the trajectory to the previous revision's
+    /// behaviour for these seeds.
+    #[test]
+    fn persistent_pool_long_run_is_bit_identical_to_serial() {
+        let n = 1 << 15;
+        let p = Ag { n };
+        for seed in [7u64, 23] {
+            let run = |threads: usize| {
+                let mut s = CountSimulation::new(&p, vec![0; n], seed)
+                    .unwrap()
+                    .with_threads(threads);
+                let rep = s.run_until_silent(u64::MAX).unwrap();
+                (rep.interactions, rep.productive_interactions, s.into_counts())
+            };
+            let serial = run(1);
+            let pooled = run(3);
+            assert_eq!(serial, pooled, "seed {seed}: pool run diverged");
+        }
+    }
+
+    /// The pool must survive a snapshot restore (restore rebuilds the
+    /// engine from counts) and keep producing the serial trajectory.
+    #[test]
+    fn pool_survives_snapshot_restore() {
+        use crate::engine::Engine;
+        let n = 1 << 15;
+        let p = Ag { n };
+        let mut s = CountSimulation::new(&p, vec![0; n], 11).unwrap().with_threads(3);
+        for _ in 0..5 {
+            s.advance_chain();
+        }
+        let snap = Engine::snapshot(&s);
+        let cont: Vec<u64> = (0..30)
+            .map(|_| {
+                s.advance_chain();
+                s.productive_interactions()
+            })
+            .collect();
+        Engine::restore(&mut s, &snap);
+        assert_eq!(s.threads(), 3, "thread budget lost across restore");
+        let replay: Vec<u64> = (0..30)
+            .map(|_| {
+                s.advance_chain();
+                s.productive_interactions()
+            })
+            .collect();
+        assert_eq!(cont, replay, "restored pooled run must replay the original");
     }
 
     /// A multi-class protocol (equal-rank + extra–extra + symmetric cross,

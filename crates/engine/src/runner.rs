@@ -7,8 +7,11 @@
 //! initial-configuration family, optional transient faults, and the trial
 //! budget; [`Scenario::run`] executes the trials in parallel with
 //! deterministic per-trial seeds derived from a single base seed, so an
-//! experiment is reproducible regardless of thread count. The CLI and
-//! every `exp_*` experiment binary consume this API.
+//! experiment is reproducible regardless of thread count. The scenario's
+//! [`threads`](Scenario::threads) value is a single core budget split
+//! across concurrent trials and each trial engine's parallel batch
+//! splits (see [`Scenario::thread_split`]). The CLI and every `exp_*`
+//! experiment binary consume this API.
 //!
 //! # Examples
 //!
@@ -258,12 +261,17 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
         self
     }
 
-    /// Worker threads (0 = one per available core, the default). A
-    /// multi-trial [`run`](Self::run) spends them on trial-level
-    /// parallelism; a single-trial scenario hands them to the count
-    /// engine's parallel per-class batch splits instead. Either way every
-    /// result is bit-identical for a fixed base seed regardless of the
-    /// thread count.
+    /// Core budget (0 = one per available core, the default). This is a
+    /// **single** budget spanning both parallelism levels: concurrent
+    /// trials, and the count engine's parallel per-class batch splits
+    /// inside each trial. [`run`](Self::run) splits it as
+    /// `trial_workers × split_threads ≤ budget` — see
+    /// [`thread_split`](Self::thread_split) for the policy. A scenario
+    /// with many trials runs them trial-parallel on single-threaded
+    /// engines; a single-trial scenario at large `n` hands the whole
+    /// budget to its engine's split workers; in between both levels get a
+    /// share. Either way every result is bit-identical for a fixed base
+    /// seed regardless of the budget.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -347,10 +355,11 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
     /// configuration. Useful for drivers that want to own the run loop
     /// (observers, wall-clock measurement, snapshotting).
     ///
-    /// Single-trial scenarios pass the scenario's worker threads through
-    /// to the count engine (parallel per-class batch splits); multi-trial
-    /// scenarios keep them for trial-level parallelism. Init families
-    /// whose counts are directly generable skip the agent vector entirely.
+    /// The engine receives the per-trial share of the scenario's core
+    /// budget (the `split_threads` half of
+    /// [`thread_split`](Self::thread_split)); the rest is reserved for
+    /// trial-level parallelism in [`run`](Self::run). Init families whose
+    /// counts are directly generable skip the agent vector entirely.
     ///
     /// # Errors
     ///
@@ -358,11 +367,7 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
     /// invalid configuration for the protocol.
     pub fn build_engine(&self, trial: u64) -> Result<Box<dyn Engine + 'a>, ConfigError> {
         let sim_seed = derive_seed(self.base_seed, trial * 2 + 1);
-        let engine_threads = if self.trials <= 1 {
-            self.effective_threads()
-        } else {
-            1
-        };
+        let (_, engine_threads) = self.thread_split();
         if let Some(counts) = self.trial_counts(trial) {
             return make_engine_from_counts(
                 self.engine,
@@ -398,9 +403,40 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
         engine.run_until_silent(self.max_interactions)
     }
 
-    /// Run all trials, in parallel when beneficial. Results are in trial
-    /// order and deterministic in the base seed regardless of thread
-    /// count.
+    /// Split the scenario's core budget across the two parallelism
+    /// levels, returning `(trial_workers, split_threads)`:
+    /// `trial_workers` trials run concurrently, and each trial's engine
+    /// gets `split_threads` threads for its per-class batch splits.
+    ///
+    /// # Core-budget policy
+    ///
+    /// Trial-level parallelism comes first because independent trials
+    /// scale perfectly, while split workers only help once per-batch draw
+    /// counts are large: `trial_workers = budget.min(trials)`, and the
+    /// cores left over per concurrent trial go to that trial's engine,
+    /// `split_threads = (budget / trial_workers).max(1)`. Consequences:
+    ///
+    /// - many trials (≥ budget): fully trial-parallel, engines run
+    ///   single-threaded — the PR 5 behaviour;
+    /// - a single trial: the whole budget goes to the engine's persistent
+    ///   split-worker pool — large-`n` scaling runs;
+    /// - few trials on many cores (e.g. 3 trials, 8 cores): both levels
+    ///   engage, `3 × 2 ≤ 8`.
+    ///
+    /// The product never exceeds the budget. Determinism is unaffected:
+    /// trial seeds depend only on the trial index and engine trajectories
+    /// are bit-identical at any split-thread count.
+    pub fn thread_split(&self) -> (usize, usize) {
+        let budget = self.effective_threads().max(1);
+        let trial_workers = budget.min(self.trials.max(1));
+        let split_threads = (budget / trial_workers).max(1);
+        (trial_workers, split_threads)
+    }
+
+    /// Run all trials, in parallel when beneficial. The core budget is
+    /// split across concurrent trials and per-trial engine threads by
+    /// [`thread_split`](Self::thread_split). Results are in trial order
+    /// and deterministic in the base seed regardless of the budget.
     ///
     /// # Panics
     ///
@@ -408,7 +444,7 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
     /// configuration.
     pub fn run(&self) -> TrialResults {
         let trials = self.trials;
-        let threads = self.effective_threads().min(trials.max(1));
+        let (threads, _) = self.thread_split();
         let mut reports: Vec<Option<Result<StabilisationReport, StabilisationTimeout>>> =
             vec![None; trials];
 
@@ -683,6 +719,42 @@ mod tests {
         // Faults force the agent-vector path (they address agents).
         assert!(Scenario::new(&p).faults(1).trial_counts(0).is_none());
         assert!(Scenario::new(&p).init(Init::KDistant(2)).trial_counts(0).is_none());
+    }
+
+    #[test]
+    fn core_budget_splits_across_trials_then_engine() {
+        let p = Ag { n: 8 };
+        let split = |trials, threads| {
+            Scenario::new(&p).trials(trials).threads(threads).thread_split()
+        };
+        // Single trial: the whole budget goes to the engine's splits.
+        assert_eq!(split(1, 8), (1, 8));
+        // Trials saturate the budget: fully trial-parallel.
+        assert_eq!(split(8, 8), (8, 1));
+        assert_eq!(split(16, 4), (4, 1));
+        // In between, both levels engage and the product stays ≤ budget.
+        assert_eq!(split(2, 8), (2, 4));
+        assert_eq!(split(3, 8), (3, 2));
+        // Degenerate inputs stay sane.
+        assert_eq!(split(0, 4), (1, 4));
+        assert_eq!(split(5, 1), (1, 1));
+    }
+
+    #[test]
+    fn mixed_budget_is_deterministic() {
+        // 2 trials on a 4-core budget engage both levels (2 trial workers
+        // × 2 split threads); results must match the serial run.
+        let p = Ag { n: 10 };
+        let run = |threads| {
+            Scenario::new(&p)
+                .init(Init::Stacked)
+                .trials(2)
+                .base_seed(91)
+                .threads(threads)
+                .run()
+                .interaction_counts()
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

@@ -91,7 +91,7 @@ fn tree_dispersal_from_root_never_resets() {
 fn tree_unbalanced_start_triggers_reset() {
     let n = 33;
     let p = TreeRanking::new(n);
-    let leaf = p.tree().leaves()[0] as State;
+    let leaf = p.tree().leaves_iter().next().unwrap() as State;
     let mut sim = Simulation::new(&p, vec![leaf; n], 19).unwrap();
     let nr = n;
     let mut touched_extra = false;
