@@ -712,7 +712,12 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         }
         debug_assert!(w as u128 <= self.ordered_pairs);
         let p = w as f64 / self.ordered_pairs as f64;
-        self.interactions += (self.rng.geometric(p) + 1) as u128;
+        // Near silence at n ≥ 2³¹ the geometric mean n(n−1)/w exceeds
+        // u64::MAX, so the draw and the +1 must both happen at u128 width.
+        self.interactions = self
+            .interactions
+            .saturating_add(self.rng.geometric_wide(p))
+            .saturating_add(1);
         self.productive += 1;
 
         let (si, sr) = self.state.sample_pair(&mut self.rng);
@@ -1018,8 +1023,12 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         }
         debug_assert!(applied_total > 0, "batch applied nothing despite W > 0");
         self.productive += applied_total;
-        self.interactions +=
-            (applied_total + self.rng.neg_binomial(applied_total, p)) as u128;
+        // Widen each operand before summing: with tiny p the null count
+        // alone can exceed u64::MAX, so the addition must happen at u128.
+        self.interactions = self
+            .interactions
+            .saturating_add(applied_total as u128)
+            .saturating_add(self.rng.neg_binomial_wide(applied_total, p));
 
         self.key_scratch = keys;
         self.group_scratch = groups;
@@ -1059,6 +1068,7 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
                 if self.interactions <= cap {
                     return Ok(StabilisationReport {
                         interactions: self.interactions(),
+                        interactions_wide: self.interactions,
                         productive_interactions: self.productive,
                         parallel_time: self.parallel_time(),
                     });
@@ -1099,6 +1109,7 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
                 if self.interactions <= cap {
                     return Ok(StabilisationReport {
                         interactions: self.interactions(),
+                        interactions_wide: self.interactions,
                         productive_interactions: self.productive,
                         parallel_time: self.parallel_time(),
                     });
@@ -1178,7 +1189,7 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
     pub(crate) fn restore_parts(
         &mut self,
         counts: &[u32],
-        interactions: u64,
+        interactions: u128,
         productive: u64,
         rng: Xoshiro256,
         ctl: Option<crate::engine::CountControl>,
@@ -1187,7 +1198,7 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         let threads = self.threads;
         let mut fresh = CountSimulation::from_counts(self.protocol, counts.to_vec(), 0)
             .expect("snapshot counts do not match this protocol");
-        fresh.interactions = interactions as u128;
+        fresh.interactions = interactions;
         fresh.productive = productive;
         fresh.rng = rng;
         fresh.batching = batching;
@@ -1224,6 +1235,10 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for CountSimulation<'_
 
     fn interactions(&self) -> u64 {
         CountSimulation::interactions(self)
+    }
+
+    fn interactions_wide(&self) -> u128 {
+        self.interactions
     }
 
     fn productive_interactions(&self) -> u64 {
@@ -1263,7 +1278,7 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for CountSimulation<'_
         crate::engine::EngineSnapshot {
             agents: None,
             counts: self.state.counts.clone(),
-            interactions: CountSimulation::interactions(self),
+            interactions: self.interactions,
             productive: self.productive,
             rng: self.rng_clone(),
             count_ctl: Some(crate::engine::CountControl {
@@ -1360,6 +1375,26 @@ mod tests {
         assert!(sim.counts().iter().all(|&c| c == 1));
         assert!(rep.productive_interactions >= 4095);
         assert!(rep.interactions >= rep.productive_interactions);
+    }
+
+    #[test]
+    fn wide_clock_survives_snapshot_roundtrip() {
+        use crate::engine::Engine;
+        let p = Ag { n: 8 };
+        let mut sim = CountSimulation::new(&p, vec![0; 8], 9).unwrap();
+        sim.step_productive();
+        let mut snap = Engine::snapshot(&sim);
+        let wide = u64::MAX as u128 + 12_345;
+        snap.interactions = wide;
+        Engine::restore(&mut sim, &snap);
+        assert_eq!(sim.interactions_wide(), wide);
+        assert_eq!(CountSimulation::interactions(&sim), u64::MAX);
+        // Snapshot and advance keep the full-width clock exact.
+        let snap2 = Engine::snapshot(&sim);
+        assert_eq!(snap2.interactions_wide(), wide);
+        assert_eq!(snap2.interactions(), u64::MAX);
+        sim.step_productive();
+        assert!(sim.interactions_wide() > wide);
     }
 
     #[test]

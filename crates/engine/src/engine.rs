@@ -140,7 +140,9 @@ impl<F: FnMut(u64, (State, State), (State, State), u64, &[u32])> CountObserver
 pub struct EngineSnapshot {
     pub(crate) agents: Option<Vec<State>>,
     pub(crate) counts: Vec<u32>,
-    pub(crate) interactions: u64,
+    /// Full-width clock: the count engine's clock legitimately passes
+    /// `u64::MAX` at `n ≥ 2³¹`, and restoring must not narrow it.
+    pub(crate) interactions: u128,
     pub(crate) productive: u64,
     pub(crate) rng: Xoshiro256,
     /// Count-engine batching control state; `None` for snapshots taken
@@ -170,8 +172,15 @@ impl EngineSnapshot {
         self.agents.as_deref()
     }
 
-    /// The interaction clock at capture time.
+    /// The interaction clock at capture time, saturating at `u64::MAX`
+    /// (see [`interactions_wide`](Self::interactions_wide)).
     pub fn interactions(&self) -> u64 {
+        self.interactions.min(u64::MAX as u128) as u64
+    }
+
+    /// The interaction clock at capture time, full-width: exact past
+    /// `u64::MAX` for count-engine snapshots at `n ≥ 2³¹`.
+    pub fn interactions_wide(&self) -> u128 {
         self.interactions
     }
 
@@ -197,8 +206,16 @@ pub trait Engine {
     /// Current per-state occupancy counts.
     fn counts(&self) -> &[u32];
 
-    /// Total interactions simulated so far (nulls included).
+    /// Total interactions simulated so far (nulls included), saturating
+    /// at `u64::MAX` (see [`interactions_wide`](Engine::interactions_wide)).
     fn interactions(&self) -> u64;
+
+    /// Total interactions simulated so far, full-width. Only the count
+    /// engine's clock can exceed `u64::MAX` (at `n ≥ 2³¹`); for the other
+    /// engines this equals [`interactions`](Engine::interactions).
+    fn interactions_wide(&self) -> u128 {
+        self.interactions() as u128
+    }
 
     /// Productive interactions executed so far.
     fn productive_interactions(&self) -> u64;
@@ -269,6 +286,7 @@ pub trait Engine {
     fn report(&self) -> StabilisationReport {
         StabilisationReport {
             interactions: self.interactions(),
+            interactions_wide: self.interactions_wide(),
             productive_interactions: self.productive_interactions(),
             parallel_time: self.parallel_time(),
         }

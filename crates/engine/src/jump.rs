@@ -153,7 +153,12 @@ impl<'a, P: InteractionSchema + ?Sized> JumpSimulation<'a, P> {
         }
         debug_assert!(w <= self.ordered_pairs);
         let p = w as f64 / self.ordered_pairs as f64;
-        self.interactions += self.rng.geometric(p) + 1;
+        // geometric() saturates at u64::MAX — add saturating so the +1
+        // cannot wrap the clock (the count engine owns the u128 regime).
+        self.interactions = self
+            .interactions
+            .saturating_add(self.rng.geometric(p))
+            .saturating_add(1);
         self.productive += 1;
 
         let (si, sr) = self.state.sample_pair(&mut self.rng);
@@ -195,6 +200,7 @@ impl<'a, P: InteractionSchema + ?Sized> JumpSimulation<'a, P> {
                 if self.interactions <= max_interactions {
                     return Ok(StabilisationReport {
                         interactions: self.interactions,
+                        interactions_wide: self.interactions as u128,
                         productive_interactions: self.productive,
                         parallel_time: self.parallel_time(),
                     });
@@ -290,6 +296,7 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for JumpSimulation<'_,
                 if self.interactions <= max_interactions {
                     return Ok(StabilisationReport {
                         interactions: self.interactions,
+                        interactions_wide: self.interactions as u128,
                         productive_interactions: self.productive,
                         parallel_time: JumpSimulation::parallel_time(self),
                     });
@@ -323,7 +330,7 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for JumpSimulation<'_,
         crate::engine::EngineSnapshot {
             agents: None,
             counts: self.state.counts.clone(),
-            interactions: self.interactions,
+            interactions: self.interactions as u128,
             productive: self.productive,
             rng: self.rng.clone(),
             count_ctl: None,
@@ -334,7 +341,9 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for JumpSimulation<'_,
         let mut fresh =
             JumpSimulation::from_counts(self.protocol, snapshot.counts.clone(), 0)
                 .expect("snapshot counts do not match this protocol");
-        fresh.interactions = snapshot.interactions;
+        // The jump engine's clock is u64; count-engine snapshots past
+        // u64::MAX cannot be represented here and saturate.
+        fresh.interactions = snapshot.interactions.min(u64::MAX as u128) as u64;
         fresh.productive = snapshot.productive;
         fresh.rng = snapshot.rng.clone();
         *self = fresh;

@@ -172,21 +172,37 @@ impl Xoshiro256 {
     ///
     /// Used by the jump-chain simulator to account for skipped null
     /// interactions. `p` is clamped to `(0, 1]`; `p >= 1` always returns 0.
+    /// Saturates at `u64::MAX`; callers whose mean `(1-p)/p` can approach
+    /// that (the count engine near silence at `n ≥ 2³¹`) must use
+    /// [`geometric_wide`](Self::geometric_wide) instead.
     #[inline]
     pub fn geometric(&mut self, p: f64) -> u64 {
+        let k = self.geometric_wide(p);
+        if k >= u64::MAX as u128 {
+            u64::MAX
+        } else {
+            k as u64
+        }
+    }
+
+    /// Full-width [`geometric`](Self::geometric) variate. Identical RNG
+    /// consumption (one uniform), but returned at `u128` width so draws
+    /// beyond `u64::MAX` stay exact instead of saturating.
+    #[inline]
+    pub fn geometric_wide(&mut self, p: f64) -> u128 {
         if p >= 1.0 {
             return 0;
         }
-        debug_assert!(p > 0.0, "geometric() requires p > 0");
+        debug_assert!(p > 0.0, "geometric_wide() requires p > 0");
         // floor(ln(1-U) / ln(1-p)); ln_1p keeps precision for small p.
         let u = self.unit_f64();
         let num = (-u).ln_1p(); // ln(1-u) <= 0
         let den = (-p).ln_1p(); // ln(1-p) <  0
         let k = num / den;
-        if k >= u64::MAX as f64 {
-            u64::MAX
+        if k >= u128::MAX as f64 {
+            u128::MAX
         } else {
-            k as u64
+            k as u128
         }
     }
 
@@ -280,14 +296,30 @@ impl Xoshiro256 {
     /// Exact geometric summation for small `k`, clamped normal
     /// approximation (mean `k(1−p)/p`, variance `k(1−p)/p²`) for large `k`.
     /// The batched simulator uses this to account for all null interactions
-    /// across a whole batch of productive steps in O(1).
+    /// across a whole batch of productive steps in O(1). Saturates at
+    /// `u64::MAX`; use [`neg_binomial_wide`](Self::neg_binomial_wide) when
+    /// the mean can approach that.
     pub fn neg_binomial(&mut self, k: u64, p: f64) -> u64 {
+        let x = self.neg_binomial_wide(k, p);
+        if x >= u64::MAX as u128 {
+            u64::MAX
+        } else {
+            x as u64
+        }
+    }
+
+    /// Full-width [`neg_binomial`](Self::neg_binomial) variate. Identical
+    /// RNG consumption, but summed and returned at `u128` width so neither
+    /// the per-geometric draws nor their sum saturate below `u128::MAX`.
+    pub fn neg_binomial_wide(&mut self, k: u64, p: f64) -> u128 {
         if k == 0 || p >= 1.0 {
             return 0;
         }
-        debug_assert!(p > 0.0, "neg_binomial requires p > 0");
+        debug_assert!(p > 0.0, "neg_binomial_wide requires p > 0");
         if k <= 16 {
-            return (0..k).map(|_| self.geometric(p)).sum();
+            return (0..k).fold(0u128, |acc, _| {
+                acc.saturating_add(self.geometric_wide(p))
+            });
         }
         let kf = k as f64;
         let mean = kf * (1.0 - p) / p;
@@ -295,10 +327,10 @@ impl Xoshiro256 {
         let x = mean + sd * self.gaussian() + 0.5;
         if x < 0.0 {
             0
-        } else if x >= u64::MAX as f64 {
-            u64::MAX
+        } else if x >= u128::MAX as f64 {
+            u128::MAX
         } else {
-            x as u64
+            x as u128
         }
     }
 
@@ -424,6 +456,53 @@ mod tests {
             (mean - expected).abs() < expected * 0.05,
             "mean {mean}, expected {expected}"
         );
+    }
+
+    #[test]
+    fn geometric_wide_exceeds_u64_without_wrapping() {
+        // With p this small the mean (1-p)/p ≈ 1e30 dwarfs u64::MAX, so
+        // essentially every draw lands beyond the narrow sampler's range.
+        let p = 1e-30;
+        let mut wide_rng = Xoshiro256::seed_from_u64(7);
+        let mut saw_beyond_u64 = false;
+        for _ in 0..64 {
+            let k = wide_rng.geometric_wide(p);
+            assert!(k < u128::MAX, "draw saturated the wide sampler");
+            if k > u64::MAX as u128 {
+                saw_beyond_u64 = true;
+            }
+        }
+        assert!(saw_beyond_u64, "no draw exceeded u64::MAX at p = 1e-30");
+        // The narrow sampler consumes the same stream and saturates
+        // instead of wrapping.
+        let mut wide_rng = Xoshiro256::seed_from_u64(7);
+        let mut narrow_rng = Xoshiro256::seed_from_u64(7);
+        for _ in 0..64 {
+            let k = wide_rng.geometric_wide(p);
+            let expect = if k >= u64::MAX as u128 {
+                u64::MAX
+            } else {
+                k as u64
+            };
+            assert_eq!(narrow_rng.geometric(p), expect);
+        }
+    }
+
+    #[test]
+    fn neg_binomial_wide_sums_past_u64() {
+        // Small-k branch: 16 geometric draws each ≈ 1e30 sum well past
+        // u64::MAX but nowhere near u128::MAX.
+        let p = 1e-30;
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        let x = rng.neg_binomial_wide(16, p);
+        assert!(x > u64::MAX as u128);
+        assert!(x < u128::MAX);
+        let mut check = Xoshiro256::seed_from_u64(31);
+        let sum = (0..16).fold(0u128, |acc, _| acc + check.geometric_wide(p));
+        assert_eq!(x, sum);
+        // The narrow variant saturates on the same stream.
+        let mut narrow = Xoshiro256::seed_from_u64(31);
+        assert_eq!(narrow.neg_binomial(16, p), u64::MAX);
     }
 
     #[test]

@@ -46,8 +46,14 @@ use crate::rng::Xoshiro256;
 /// Outcome of a run that reached a silent configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StabilisationReport {
-    /// Interactions executed up to (and including) the last productive one.
+    /// Interactions executed up to (and including) the last productive one,
+    /// saturating at `u64::MAX` — the count engine's clock legitimately
+    /// passes that at `n ≥ 2³¹`; see
+    /// [`interactions_wide`](Self::interactions_wide).
     pub interactions: u64,
+    /// Full-width interaction clock, exact past `u64::MAX`. Equals
+    /// `interactions` for every engine except count at `n ≥ 2³¹`.
+    pub interactions_wide: u128,
     /// Of those, how many actually changed the configuration.
     pub productive_interactions: u64,
     /// Parallel time: `interactions / n`.
@@ -230,6 +236,7 @@ impl<'a, P: Protocol + ?Sized> Simulation<'a, P> {
                 debug_assert!(self.verify_silent());
                 return Ok(StabilisationReport {
                     interactions: self.interactions,
+                    interactions_wide: self.interactions as u128,
                     productive_interactions: self.productive,
                     parallel_time: self.parallel_time(),
                 });
@@ -308,6 +315,7 @@ impl<'a, P: Protocol + ?Sized> Simulation<'a, P> {
                 debug_assert!(self.verify_silent());
                 return Ok(StabilisationReport {
                     interactions: self.interactions,
+                    interactions_wide: self.interactions as u128,
                     productive_interactions: self.productive,
                     parallel_time: self.parallel_time(),
                 });
@@ -471,7 +479,7 @@ impl<P: Protocol + ?Sized> crate::engine::Engine for Simulation<'_, P> {
         crate::engine::EngineSnapshot {
             agents: Some(self.agents.clone()),
             counts: self.counts.clone(),
-            interactions: self.interactions,
+            interactions: self.interactions as u128,
             productive: self.productive,
             rng: self.rng.clone(),
             count_ctl: None,
@@ -504,7 +512,9 @@ impl<P: Protocol + ?Sized> crate::engine::Engine for Simulation<'_, P> {
             .map(|&c| (c as u64).saturating_sub(1))
             .sum();
         self.extra_agents = self.counts[num_ranks..].iter().map(|&c| c as u64).sum();
-        self.interactions = snapshot.interactions;
+        // The naive engine's clock is u64; count-engine snapshots past
+        // u64::MAX cannot be represented here and saturate.
+        self.interactions = snapshot.interactions.min(u64::MAX as u128) as u64;
         self.productive = snapshot.productive;
         self.rng = snapshot.rng.clone();
     }
