@@ -20,7 +20,7 @@ use ssr_core::{GenericRanking, TreeRanking};
 use ssr_engine::engine::{make_engine, Engine, EngineKind};
 use ssr_engine::fenwick::Fenwick;
 use ssr_engine::rng::Xoshiro256;
-use ssr_engine::{CountSimulation, JumpSimulation, Protocol, Simulation};
+use ssr_engine::{run_with_plan, CountSimulation, FaultPlan, JumpSimulation, Protocol, Simulation};
 use ssr_topology::{BalancedTree, CubicGraph};
 use std::hint::black_box;
 
@@ -212,6 +212,25 @@ fn bench_count_batching(c: &mut Criterion) {
             )
         });
     }
+    // The adversary hot path: the same batched chain driven through
+    // `run_with_plan`, with batches clipped to the scheduled fault events
+    // of a live plan (background corruption every ~budget/8 interactions
+    // plus a mid-run burst) and every productive group folded into the
+    // RecoveryTracker's availability ledger. The delta vs `batched` is
+    // the price of event clipping plus occupancy tracking.
+    group.bench_function("faulted_batched", |b| {
+        let plan = FaultPlan::new()
+            .burst_at(budget as u128 / 2, 64)
+            .rate(8.0 / budget as f64);
+        b.iter_batched(
+            || CountSimulation::new(&p, vec![0; n], 7).unwrap(),
+            |mut sim| {
+                let out = run_with_plan(&mut sim, &plan, 99, budget);
+                black_box(out.faults_injected)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 

@@ -77,6 +77,20 @@ impl Args {
         }
     }
 
+    /// Floating-point flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unparseable values.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+
     /// Comma-separated integer list flag.
     ///
     /// # Errors
@@ -148,6 +162,17 @@ mod tests {
         assert!(parse(&["sweep", "--ns", "72,x"])
             .unwrap()
             .usize_list_or("ns", &[])
+            .is_err());
+    }
+
+    #[test]
+    fn floats_parse() {
+        let a = parse(&["run", "--fault-rate", "1e-6"]).unwrap();
+        assert_eq!(a.f64_or("fault-rate", 0.0).unwrap(), 1e-6);
+        assert_eq!(a.f64_or("churn", 0.25).unwrap(), 0.25);
+        assert!(parse(&["run", "--fault-rate", "x"])
+            .unwrap()
+            .f64_or("fault-rate", 0.0)
             .is_err());
     }
 

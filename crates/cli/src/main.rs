@@ -3,6 +3,7 @@
 //! ```text
 //! ssr run    --protocol tree --n 1000 [--start uniform|stacked|k-distant]
 //!            [--k 5] [--seed 7] [--engine auto|naive|jump|count] [--max 1000000000]
+//!            [--fault-burst t:f[,t:f...]] [--fault-rate R] [--churn R] [--byzantine K]
 //! ssr sweep  --protocol line --ns 72,324,960 [--trials 10] [--seed 0]
 //! ssr elect  --protocol ring --n 100 [--k 5] [--seed 7]
 //! ssr exact  --protocol generic --n 5 [--limit 200000] [--trials 20000]
@@ -19,8 +20,11 @@ use ssr_analysis::sweep::{sweep, SweepOptions};
 use ssr_analysis::Summary;
 use ssr_core::{elect_leader, GenericRanking, LineOfTraps, RingOfTraps, TreeRanking};
 use ssr_engine::init::{self, DuplicatePlacement};
-use ssr_engine::rng::Xoshiro256;
-use ssr_engine::{EngineKind, Init, InteractionSchema, JumpSimulation, Protocol, Scenario, State};
+use ssr_engine::rng::{derive_seed, Xoshiro256};
+use ssr_engine::{
+    run_with_plan, EngineKind, FaultPlan, Init, InteractionSchema, JumpSimulation, Protocol,
+    Scenario, State,
+};
 
 /// The four ranking protocols behind one object-safe schema handle.
 fn make_protocol(kind: &str, n: usize) -> Result<Box<dyn InteractionSchema + Sync>, String> {
@@ -69,6 +73,56 @@ fn engine_kind(a: &Args) -> Result<EngineKind, String> {
     EngineKind::parse(&a.str_or("engine", "auto"))
 }
 
+/// Assemble the `run` command's adversary flags into a [`FaultPlan`]:
+/// `--fault-burst t:f[,t:f...]` (timed one-shot bursts), `--fault-rate R`
+/// (background corruption probability per interaction), `--churn R`
+/// (replacement churn) and `--byzantine K` (stuck-at agents). Returns
+/// `None` when no adversary flag is present.
+fn parse_fault_plan(a: &Args) -> Result<Option<FaultPlan>, String> {
+    let mut plan = FaultPlan::new();
+    let mut any = false;
+    if a.has("fault-burst") {
+        for part in a.str_or("fault-burst", "").split(',') {
+            let (t, f) = part.trim().split_once(':').ok_or_else(|| {
+                format!("--fault-burst expects time:faults entries, got '{part}'")
+            })?;
+            let t: u128 = t
+                .trim()
+                .parse()
+                .map_err(|_| format!("--fault-burst: '{t}' is not an interaction time"))?;
+            let f: u32 = f
+                .trim()
+                .parse()
+                .map_err(|_| format!("--fault-burst: '{f}' is not a fault count"))?;
+            plan = plan.burst_at(t, f);
+        }
+        any = true;
+    }
+    let rate = a.f64_or("fault-rate", 0.0)?;
+    if rate != 0.0 {
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--fault-rate must be a probability, got {rate}"));
+        }
+        plan = plan.rate(rate);
+        any = true;
+    }
+    let churn = a.f64_or("churn", 0.0)?;
+    if churn != 0.0 {
+        if !churn.is_finite() || !(0.0..=1.0).contains(&churn) {
+            return Err(format!("--churn must be a probability, got {churn}"));
+        }
+        plan = plan.churn(churn);
+        any = true;
+    }
+    let byz = a.usize_or("byzantine", 0)?;
+    if byz > 0 {
+        let byz = u32::try_from(byz).map_err(|_| "--byzantine is too large".to_string())?;
+        plan = plan.byzantine(byz);
+        any = true;
+    }
+    Ok(any.then_some(plan))
+}
+
 fn cmd_run(a: &Args) -> Result<(), String> {
     let n = a.usize_or("n", 100)?;
     let p = make_protocol(&a.str_or("protocol", "tree"), n)?;
@@ -83,6 +137,7 @@ fn cmd_run(a: &Args) -> Result<(), String> {
         .init(Init::Custom(&make))
         .base_seed(seed)
         .threads(threads);
+    let plan = parse_fault_plan(a)?;
     let mut sim = scenario.build_engine(0).map_err(|e| e.to_string())?;
     println!(
         "{}: n = {n}, {} states ({} extra), seed {seed}, engine {} ({kind})",
@@ -91,6 +146,61 @@ fn cmd_run(a: &Args) -> Result<(), String> {
         p.num_extra_states(),
         sim.engine_name()
     );
+    if let Some(plan) = plan {
+        if plan.may_never_silence() && max == u64::MAX {
+            return Err(
+                "this fault plan has a persistent process (rate/churn/byzantine) and can \
+                 run forever; set a finite --max"
+                    .to_string(),
+            );
+        }
+        // Same per-trial fault-seed derivation the Scenario runner uses.
+        let fault_seed = derive_seed(seed, 0) ^ 0xFA17_FA17_FA17_FA17;
+        let outcome = run_with_plan(sim.as_mut(), &plan, fault_seed, max);
+        if outcome.silent {
+            println!(
+                "silent after {} interactions (parallel time {:.1}); {} productive",
+                outcome.report.interactions,
+                outcome.report.parallel_time,
+                outcome.report.productive_interactions
+            );
+        } else {
+            println!(
+                "cap reached after {} interactions without lasting silence \
+                 (parallel time {:.1}); {} productive",
+                outcome.report.interactions,
+                outcome.report.parallel_time,
+                outcome.report.productive_interactions
+            );
+        }
+        println!(
+            "adversary: availability {:.4}, mean k {:.2}, max k {}, \
+             {} faults injected, {} churn events",
+            outcome.availability,
+            outcome.mean_k,
+            outcome.max_k,
+            outcome.faults_injected,
+            outcome.churn_events
+        );
+        for b in &outcome.bursts {
+            match b.recovery {
+                Some(r) => println!(
+                    "  burst t={} f={}: k after = {}, recovered in {} interactions \
+                     (parallel time {:.1})",
+                    b.time,
+                    b.faults,
+                    b.k_after,
+                    r,
+                    r as f64 / n as f64
+                ),
+                None => println!(
+                    "  burst t={} f={}: k after = {}, NOT recovered within the cap",
+                    b.time, b.faults, b.k_after
+                ),
+            }
+        }
+        return Ok(());
+    }
     let report = sim.run_until_silent(max).map_err(|e| e.to_string())?;
     println!(
         "silent after {} interactions (parallel time {:.1}); {} productive",
@@ -264,6 +374,8 @@ commands:
          [--start uniform|stacked|perfect|k-distant] [--k K]
          [--seed S] [--max M] [--engine auto|naive|jump|count]
          [--threads T]
+         [--fault-burst t:f[,t:f...]] [--fault-rate R]
+         [--churn R] [--byzantine K]
                                                simulate one run to silence
                                                (auto: count at n ≥ 4096,
                                                jump below; count batches in
@@ -271,6 +383,16 @@ commands:
                                                scales to n = 10⁹; results
                                                are seed-deterministic
                                                regardless of T)
+                                               adversary flags attach a timed
+                                               fault plan: bursts of f faults
+                                               at interaction t, background
+                                               corruption/churn at rate R per
+                                               interaction, K stuck-at agents;
+                                               persistent processes need a
+                                               finite --max, and the run then
+                                               reports availability, k-distance
+                                               excursions and per-burst
+                                               recovery instead of failing
   sweep  --protocol P --ns 64,128,256 [--trials T] [--seed S] [--engine E]
          [--threads T]
                                                time-vs-n table + power fit
@@ -360,6 +482,34 @@ mod tests {
         let legacy = args(&["run", "--naive", "true"]);
         assert_eq!(engine_kind(&legacy).unwrap(), EngineKind::Naive);
         assert!(engine_kind(&args(&["run", "--engine", "warp"])).is_err());
+    }
+
+    #[test]
+    fn fault_plan_flags_assemble_a_plan() {
+        let args = |v: &[&str]| Args::parse(v.iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(parse_fault_plan(&args(&["run"])).unwrap(), None);
+        let plan = parse_fault_plan(&args(&[
+            "run",
+            "--fault-burst",
+            "0:4, 5000:2",
+            "--fault-rate",
+            "1e-6",
+            "--churn",
+            "1e-7",
+            "--byzantine",
+            "3",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(plan.bursts(), &[(0, 4), (5_000, 2)]);
+        assert_eq!(plan.fault_rate(), 1e-6);
+        assert_eq!(plan.churn_rate(), 1e-7);
+        assert_eq!(plan.byzantine_agents(), 3);
+        assert!(plan.may_never_silence());
+        // Malformed entries fail loudly.
+        assert!(parse_fault_plan(&args(&["run", "--fault-burst", "40"])).is_err());
+        assert!(parse_fault_plan(&args(&["run", "--fault-rate", "2.0"])).is_err());
+        assert!(parse_fault_plan(&args(&["run", "--churn", "-0.5"])).is_err());
     }
 
     #[test]

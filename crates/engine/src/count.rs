@@ -106,7 +106,7 @@
 //! [`InteractionSchema`]: crate::protocol::InteractionSchema
 
 use crate::classes::{chain_split, ClassState};
-use crate::engine::CountObserver;
+use crate::engine::{ByzOverlay, CappedAdvance, CountObserver};
 use crate::error::{ConfigError, StabilisationTimeout};
 use crate::init;
 use crate::protocol::{CrossDirection, InteractionSchema, State};
@@ -561,6 +561,11 @@ pub struct CountSimulation<'a, P: InteractionSchema + ?Sized> {
     split_scratch: Vec<(usize, u64)>,
     key_scratch: Vec<KeyGroup>,
     group_scratch: Vec<BatchGroup>,
+    /// Byzantine/stuck-at occupancy overlay; `None` when inactive. When
+    /// active, exact steps veto stuck participants' rewrites and batch
+    /// groups are binomially thinned into update/no-update subgroups —
+    /// both paths maintain `counts[s] ≥ byz[s]`.
+    byz: Option<ByzOverlay>,
 }
 
 impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
@@ -611,6 +616,7 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
             split_scratch: Vec::new(),
             key_scratch: Vec::new(),
             group_scratch: Vec::new(),
+            byz: None,
         })
     }
 
@@ -719,15 +725,35 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
             .saturating_add(self.rng.geometric_wide(p))
             .saturating_add(1);
         self.productive += 1;
+        Some(self.sample_and_apply())
+    }
 
+    /// Sample the productive pair for an already-scheduled chain event,
+    /// apply the transition (subject to Byzantine vetoes) and return the
+    /// rewrite. Mirrors the jump engine's helper draw-for-draw so the two
+    /// engines stay trace-identical in exact mode.
+    fn sample_and_apply(&mut self) -> ((State, State), (State, State)) {
         let (si, sr) = self.state.sample_pair(&mut self.rng);
-        let (si2, sr2) = self.protocol.transition(si, sr).unwrap_or_else(|| {
+        let (mut si2, mut sr2) = self.protocol.transition(si, sr).unwrap_or_else(|| {
             panic!(
                 "schema declared ({si},{sr}) productive but transition \
                  returned None (protocol contract violation)"
             )
         });
-        debug_assert!(si2 != si || sr2 != sr, "identity rewrite for ({si},{sr})");
+        match &self.byz {
+            Some(byz) => {
+                let (veto_i, veto_r) = byz.veto(&mut self.rng, &self.state.counts, si, sr);
+                if veto_i {
+                    si2 = si;
+                }
+                if veto_r {
+                    sr2 = sr;
+                }
+            }
+            None => {
+                debug_assert!(si2 != si || sr2 != sr, "identity rewrite for ({si},{sr})");
+            }
+        }
         if si != si2 {
             self.state.update_count(si, -1);
             self.state.update_count(si2, 1);
@@ -736,7 +762,7 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
             self.state.update_count(sr, -1);
             self.state.update_count(sr2, 1);
         }
-        Some(((si, sr), (si2, sr2)))
+        ((si, sr), (si2, sr2))
     }
 
     /// Largest per-state drain scale of the sparse-pair class: for every
@@ -876,6 +902,53 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         None
     }
 
+    /// [`decide_batch`](Self::decide_batch) with an absolute clock cap:
+    /// the safe batch size is additionally clipped so the batch's expected
+    /// clock drift stays well inside the cap (a scheduled fault must not
+    /// be overrun by a whole batch). Near the cap the clipped size drops
+    /// below [`MIN_BATCH`] and the engine exact-steps the final approach,
+    /// where truncation at the cap is exact by memorylessness. A capped
+    /// run's recheck-counter evolution can differ from an uncapped run's —
+    /// it is still deterministic per seed and thread-count invariant.
+    fn decide_batch_capped(&mut self, cap: u128) -> Option<u64> {
+        if !self.batching {
+            return None;
+        }
+        if self.exact_steps_until_recheck == 0 {
+            if let Some(b) = self.batch_size() {
+                let b = self.clip_batch_to_cap(b, cap);
+                if b > 0 {
+                    return Some(b);
+                }
+            }
+            self.exact_steps_until_recheck = EXACT_RECHECK_INTERVAL;
+        }
+        self.exact_steps_until_recheck -= 1;
+        None
+    }
+
+    /// Clip a safe batch size `b` so the batch's expected clock advance
+    /// (`b/p` draws) is at most a quarter of the room left before `cap` —
+    /// the negative-binomial null tail then crosses the cap only with
+    /// vanishing probability. Returns 0 when the clipped batch is too
+    /// small to pay for itself (the caller falls back to exact stepping).
+    fn clip_batch_to_cap(&self, b: u64, cap: u128) -> u64 {
+        if cap == u128::MAX {
+            return b;
+        }
+        let room = cap.saturating_sub(self.interactions);
+        let w = self.state.productive_pairs();
+        let p = w as f64 / self.ordered_pairs as f64;
+        let b_room = (room as f64) * p / 4.0;
+        if (b as f64) <= b_room {
+            b
+        } else if b_room >= MIN_BATCH as f64 {
+            b_room as u64
+        } else {
+            0
+        }
+    }
+
     /// Collect the coalesced rewrite keys of one batch of `b` steps, with
     /// all weights frozen at the current configuration, into
     /// `self.key_scratch`. No counts are mutated.
@@ -947,6 +1020,29 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
             )
         });
         debug_assert!(a2 != a || b2 != b, "identity rewrite for ({a},{b})");
+        self.apply_group_to(before, (a2, b2), k, false)
+    }
+
+    /// Apply `k` identical `before → after` rewrites, clipping as in
+    /// [`apply_group`](Self::apply_group). With `reserve_byz` the clip
+    /// additionally reserves the Byzantine occupancy of the drained states
+    /// (stuck-at agents never move). `after == before` groups are pure
+    /// no-ops that still count as applied chain events.
+    fn apply_group_to(
+        &mut self,
+        before: (State, State),
+        after: (State, State),
+        k: u64,
+        reserve_byz: bool,
+    ) -> Option<BatchGroup> {
+        if k == 0 {
+            return None;
+        }
+        let (a, b) = before;
+        let (a2, b2) = after;
+        if after == before {
+            return Some(BatchGroup { before, after, applied: k });
+        }
         // Per-application occupancy deltas over the (≤ 4) involved states.
         let mut deltas = [(0 as State, 0i64); 4];
         let mut len = 0usize;
@@ -968,7 +1064,12 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
                 continue;
             }
             let need: u64 = if a == b { 2 } else { 1 };
-            let c = self.state.counts[s as usize] as u64;
+            let mut c = self.state.counts[s as usize] as u64;
+            if reserve_byz {
+                if let Some(byz) = &self.byz {
+                    c = c.saturating_sub(byz.counts[s as usize] as u64);
+                }
+            }
             if c < need {
                 kmax = 0;
                 break;
@@ -993,6 +1094,87 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         })
     }
 
+    /// Apply one coalesced key group under an active Byzantine overlay:
+    /// the `k` draws are binomially thinned by the probability that each
+    /// participant is a stuck-at agent (relative to the *current*
+    /// occupancy of its state), then applied as up to four subgroups —
+    /// both update, responder-only, initiator-only, neither. The vetoed
+    /// subgroups still count as applied chain events (they advance the
+    /// clock) but leave the counts untouched where a participant is
+    /// stuck. Appends the applied subgroups to `groups` and returns the
+    /// total applied.
+    fn apply_group_byz(
+        &mut self,
+        before: (State, State),
+        k: u64,
+        groups: &mut Vec<BatchGroup>,
+    ) -> u64 {
+        let (a, b) = before;
+        let ca = self.state.counts[a as usize] as u64;
+        let cb = self.state.counts[b as usize] as u64;
+        if ca == 0 || cb == 0 {
+            // Drained by earlier groups of the same batch; drop the tail
+            // exactly as the plain clipping path does.
+            return 0;
+        }
+        let (ba, bb) = {
+            let byz = self.byz.as_ref().expect("caller checked the overlay");
+            (byz.counts[a as usize] as u64, byz.counts[b as usize] as u64)
+        };
+        if ba == 0 && bb == 0 {
+            // No Byzantine mass in either participating state: identical
+            // to the plain path, no thinning draws consumed.
+            return match self.apply_group(before, k) {
+                Some(g) => {
+                    groups.push(g);
+                    g.applied
+                }
+                None => 0,
+            };
+        }
+        let (a2, b2) = self.protocol.transition(a, b).unwrap_or_else(|| {
+            panic!(
+                "schema declared ({a},{b}) productive but transition \
+                 returned None (protocol contract violation)"
+            )
+        });
+        // Initiator stuck with probability ba/ca, responder with bb/cb
+        // (the without-replacement correction for a == b is dropped — the
+        // batch already runs on frozen-weight approximations).
+        let k_init = if ba >= ca {
+            k
+        } else if ba > 0 {
+            self.rng.binomial(k, ba as f64 / ca as f64)
+        } else {
+            0
+        };
+        let p_resp = if bb >= cb { 1.0 } else { bb as f64 / cb as f64 };
+        let draw_resp = |rng: &mut Xoshiro256, m: u64| -> u64 {
+            if bb >= cb {
+                m
+            } else if bb > 0 && m > 0 {
+                rng.binomial(m, p_resp)
+            } else {
+                0
+            }
+        };
+        let k_both = draw_resp(&mut self.rng, k_init);
+        let k_resp = draw_resp(&mut self.rng, k - k_init);
+        let mut applied = 0u64;
+        for (after, sub_k) in [
+            ((a2, b2), k - k_init - k_resp),
+            ((a, b2), k_init - k_both),
+            ((a2, b), k_resp),
+            ((a, b), k_both),
+        ] {
+            if let Some(g) = self.apply_group_to(before, after, sub_k, true) {
+                applied += g.applied;
+                groups.push(g);
+            }
+        }
+        applied
+    }
+
     /// Execute one batch of `b` statistically-exchangeable productive
     /// steps with frozen weights. Returns the number actually applied
     /// (≥ 1; per-group clipping can shave the tail).
@@ -1015,13 +1197,32 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         let mut groups = std::mem::take(&mut self.group_scratch);
         groups.clear();
         let mut applied_total = 0u64;
-        for &(before, k) in &keys {
-            if let Some(group) = self.apply_group(before, k) {
-                applied_total += group.applied;
-                groups.push(group);
+        if self.byz.is_none() {
+            for &(before, k) in &keys {
+                if let Some(group) = self.apply_group(before, k) {
+                    applied_total += group.applied;
+                    groups.push(group);
+                }
+            }
+            debug_assert!(applied_total > 0, "batch applied nothing despite W > 0");
+        } else {
+            for &(before, k) in &keys {
+                applied_total += self.apply_group_byz(before, k, &mut groups);
+            }
+            if applied_total == 0 {
+                // Pathological corner: every group clipped away against
+                // the Byzantine reservations. Account one vetoed chain
+                // event so the clock always advances and the run loop
+                // cannot spin.
+                let before = keys.first().map_or((0, 0), |&(bf, _)| bf);
+                groups.push(BatchGroup {
+                    before,
+                    after: before,
+                    applied: 1,
+                });
+                applied_total = 1;
             }
         }
-        debug_assert!(applied_total > 0, "batch applied nothing despite W > 0");
         self.productive += applied_total;
         // Widen each operand before summing: with tiny p the null count
         // alone can exceed u64::MAX, so the addition must happen at u128.
@@ -1166,9 +1367,13 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
                 && (to as usize) < self.state.counts.len(),
             "state out of range"
         );
+        let reserved = self
+            .byz
+            .as_ref()
+            .map_or(0, |byz| byz.counts[from as usize]);
         assert!(
-            self.state.counts[from as usize] > 0,
-            "state {from} is unoccupied"
+            self.state.counts[from as usize] > reserved,
+            "state {from} has no non-Byzantine occupant"
         );
         if from == to {
             return;
@@ -1205,8 +1410,11 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         fresh.threads = threads;
         // The persistent pool survives restores — workers are stateless
         // between batches, so handing the existing pool to the restored
-        // engine is free and avoids a re-spawn.
+        // engine is free and avoids a re-spawn. The Byzantine overlay is
+        // an engine-level property, not part of the captured
+        // configuration: it survives too.
         fresh.pool = self.pool.take();
+        fresh.byz = self.byz.take();
         // Batch decisions depend on this control state; restoring it makes
         // a same-engine restore replay the original trajectory exactly.
         // Cross-engine snapshots carry none — the canonical state computed
@@ -1268,6 +1476,69 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for CountSimulation<'_
         observer: &mut dyn crate::engine::CountObserver,
     ) -> Result<StabilisationReport, StabilisationTimeout> {
         CountSimulation::run_until_silent_observed(self, max_interactions, observer)
+    }
+
+    fn advance_to(
+        &mut self,
+        cap: u128,
+        observer: &mut dyn crate::engine::CountObserver,
+    ) -> CappedAdvance {
+        let w = self.state.productive_pairs();
+        if w == 0 {
+            return CappedAdvance::Silent;
+        }
+        if self.interactions >= cap {
+            return CappedAdvance::CapReached;
+        }
+        match self.decide_batch_capped(cap) {
+            Some(b) => {
+                let applied = self.step_batch(b);
+                let groups = std::mem::take(&mut self.group_scratch);
+                for g in &groups {
+                    observer.on_productive(
+                        self.interactions(),
+                        g.before,
+                        g.after,
+                        g.applied,
+                        &self.state.counts,
+                    );
+                }
+                self.group_scratch = groups;
+                CappedAdvance::Applied(applied)
+            }
+            None => {
+                debug_assert!(w as u128 <= self.ordered_pairs);
+                let p = w as f64 / self.ordered_pairs as f64;
+                let gap = self.rng.geometric_wide(p);
+                let next = self
+                    .interactions
+                    .saturating_add(gap)
+                    .saturating_add(1);
+                if next > cap {
+                    // Exact truncation by memorylessness — mirrors the
+                    // jump engine.
+                    self.interactions = cap;
+                    return CappedAdvance::CapReached;
+                }
+                self.interactions = next;
+                self.productive += 1;
+                let (before, after) = self.sample_and_apply();
+                observer.on_productive(self.interactions(), before, after, 1, &self.state.counts);
+                CappedAdvance::Applied(1)
+            }
+        }
+    }
+
+    fn set_byzantine(&mut self, byz: &[u32]) {
+        self.byz = ByzOverlay::build(byz, &self.state.counts);
+    }
+
+    fn num_rank_states(&self) -> usize {
+        self.state.num_ranks
+    }
+
+    fn skip_nulls(&mut self, nulls: u128) {
+        self.interactions = self.interactions.saturating_add(nulls);
     }
 
     fn inject_state_fault(&mut self, from: State, to: State) {

@@ -161,6 +161,95 @@ pub(crate) struct CountControl {
     pub(crate) exact_steps_until_recheck: u32,
 }
 
+/// Outcome of a single [`Engine::advance_to`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CappedAdvance {
+    /// The configuration is silent; nothing was executed and the clock did
+    /// not move.
+    Silent,
+    /// Productive interaction(s) were applied; the clock advanced past
+    /// them (it may exceed the cap only in the count engine's batch mode,
+    /// whose null tail is drawn after the batch is committed).
+    Applied(u64),
+    /// The next productive interaction falls past the cap: the clock was
+    /// advanced *to* the cap without executing it. By memorylessness of
+    /// the geometric null-gap distribution this truncation is exact — the
+    /// time to the next productive interaction measured from the cap is
+    /// again geometric under the (possibly updated) weights.
+    CapReached,
+}
+
+/// Byzantine occupancy overlay shared by the counts-based engines.
+///
+/// `counts[s]` is the number of *stuck-at* agents currently in state `s`.
+/// Agents are anonymous in the counts representation, so whether a sampled
+/// participant is Byzantine is itself a random event: given the pair of
+/// states `(si, sr)` the initiator is Byzantine with probability
+/// `byz[si] / occ[si]`, and the responder analogously (hypergeometric
+/// correction when `si == sr`). Byzantine membership is persistent —
+/// stuck-at agents never change state, so `byz` is constant over a run and
+/// the invariant `counts[s] ≥ byz[s]` is maintained by vetoing their
+/// rewrites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ByzOverlay {
+    pub(crate) counts: Vec<u32>,
+}
+
+impl ByzOverlay {
+    /// Validate a per-state Byzantine specification against the current
+    /// occupancy and build the overlay. All-zero specs return `None`.
+    pub(crate) fn build(byz: &[u32], counts: &[u32]) -> Option<Self> {
+        assert_eq!(
+            byz.len(),
+            counts.len(),
+            "byzantine spec length {} does not match the state space {}",
+            byz.len(),
+            counts.len()
+        );
+        for (s, (&b, &c)) in byz.iter().zip(counts).enumerate() {
+            assert!(
+                b <= c,
+                "byzantine spec asks for {b} stuck agents in state {s} but \
+                 only {c} are present"
+            );
+        }
+        byz.iter().any(|&b| b > 0).then(|| ByzOverlay {
+            counts: byz.to_vec(),
+        })
+    }
+
+    /// Decide whether the initiator / responder of a sampled productive
+    /// pair `(si, sr)` are Byzantine. Consumes exactly two RNG draws when
+    /// either state holds Byzantine mass and none otherwise, so the veto
+    /// is a deterministic function of (rng, counts) — identical across the
+    /// jump and count engines.
+    pub(crate) fn veto(
+        &self,
+        rng: &mut Xoshiro256,
+        occ: &[u32],
+        si: State,
+        sr: State,
+    ) -> (bool, bool) {
+        let bi = self.counts[si as usize] as u64;
+        let br = self.counts[sr as usize] as u64;
+        if bi == 0 && br == 0 {
+            return (false, false);
+        }
+        let init_byz = rng.below(occ[si as usize] as u64) < bi;
+        let mut pool = occ[sr as usize] as u64;
+        let mut byz_pool = br;
+        if si == sr {
+            // Responder is drawn from the same state without replacement.
+            pool -= 1;
+            if init_byz {
+                byz_pool -= 1;
+            }
+        }
+        let resp_byz = rng.below(pool) < byz_pool;
+        (init_byz, resp_byz)
+    }
+}
+
 impl EngineSnapshot {
     /// The captured per-state occupancy counts.
     pub fn counts(&self) -> &[u32] {
@@ -258,12 +347,59 @@ pub trait Engine {
         observer: &mut dyn CountObserver,
     ) -> Result<StabilisationReport, StabilisationTimeout>;
 
-    /// Move one agent from state `from` to state `to` (transient-fault
-    /// injection). The interaction clock is not advanced.
+    /// Advance by one natural quantum, but never *start* work at or past
+    /// `cap` (an absolute interaction-clock value).
+    ///
+    /// This is the primitive behind timed fault execution
+    /// ([`run_with_plan`](crate::faults::run_with_plan)): a caller that
+    /// must apply a fault at clock time `t` calls `advance_to(t, ..)` in a
+    /// loop; the engine executes productive interactions falling before
+    /// `t` and, when the next one would land past `t`, truncates the clock
+    /// to `t` and returns [`CappedAdvance::CapReached`] — an *exact*
+    /// operation for the exact-stepping engines by memorylessness of the
+    /// geometric gap. The count engine clips its batch size so a batch's
+    /// expected drift stays well inside the cap and falls back to exact
+    /// stepping for the final approach; only the stochastic null tail of a
+    /// committed batch may overshoot the cap (vanishingly rarely), in
+    /// which case the caller observes a clock slightly past `cap`.
+    ///
+    /// `observer` sees every productive rewrite, exactly as in
+    /// [`run_until_silent_observed`](Engine::run_until_silent_observed).
+    fn advance_to(&mut self, cap: u128, observer: &mut dyn CountObserver) -> CappedAdvance;
+
+    /// Mark `byz[s]` agents currently in state `s` as Byzantine/stuck-at:
+    /// they keep interacting (null gaps and pair sampling are unchanged)
+    /// but their own state never updates; their interaction partners still
+    /// update normally. The marking is persistent for the rest of the run
+    /// — `counts()[s] ≥ byz[s]` becomes an invariant. An all-zero spec
+    /// clears the overlay.
     ///
     /// # Panics
     ///
-    /// Panics if `from` is unoccupied or either state id is out of range.
+    /// Panics if `byz.len()` differs from the state-space size or
+    /// `byz[s] > counts()[s]` for any `s`.
+    fn set_byzantine(&mut self, byz: &[u32]);
+
+    /// Number of rank states of the underlying protocol (the observable
+    /// prefix whose full occupancy defines a correct ranking).
+    fn num_rank_states(&self) -> usize;
+
+    /// Advance the interaction clock by `nulls` scheduler draws without
+    /// executing anything. Only meaningful while the configuration is
+    /// silent (every draw is then a null with probability 1); used to
+    /// fast-forward a silent run to its next scheduled fault. Saturates at
+    /// the engine's clock width.
+    fn skip_nulls(&mut self, nulls: u128);
+
+    /// Move one agent from state `from` to state `to` (transient-fault
+    /// injection). The interaction clock is not advanced. When a Byzantine
+    /// overlay is active the moved agent is drawn from the non-Byzantine
+    /// occupants of `from` (stuck-at agents never move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` has no (non-Byzantine) occupant or either state id
+    /// is out of range.
     fn inject_state_fault(&mut self, from: State, to: State);
 
     /// Capture configuration, clocks and RNG.

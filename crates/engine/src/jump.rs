@@ -49,6 +49,7 @@
 //! ```
 
 use crate::classes::ClassState;
+use crate::engine::{ByzOverlay, CappedAdvance};
 use crate::error::{ConfigError, StabilisationTimeout};
 use crate::init;
 use crate::protocol::{InteractionSchema, State};
@@ -66,6 +67,7 @@ pub struct JumpSimulation<'a, P: InteractionSchema + ?Sized> {
     productive: u64,
     ordered_pairs: u64,
     rng: Xoshiro256,
+    byz: Option<ByzOverlay>,
 }
 
 impl<'a, P: InteractionSchema + ?Sized> JumpSimulation<'a, P> {
@@ -110,6 +112,7 @@ impl<'a, P: InteractionSchema + ?Sized> JumpSimulation<'a, P> {
             productive: 0,
             ordered_pairs: (n as u64) * (n as u64).saturating_sub(1),
             rng: Xoshiro256::seed_from_u64(seed),
+            byz: None,
         })
     }
 
@@ -160,9 +163,16 @@ impl<'a, P: InteractionSchema + ?Sized> JumpSimulation<'a, P> {
             .saturating_add(self.rng.geometric(p))
             .saturating_add(1);
         self.productive += 1;
+        Some(self.sample_and_apply())
+    }
 
+    /// Sample the productive pair for an already-scheduled chain event,
+    /// apply the transition (subject to Byzantine vetoes) and return the
+    /// rewrite. Shared by [`step_productive`](Self::step_productive) and
+    /// the capped stepper so both consume the RNG identically.
+    fn sample_and_apply(&mut self) -> ((State, State), (State, State)) {
         let (si, sr) = self.state.sample_pair(&mut self.rng);
-        let (si2, sr2) = self
+        let (mut si2, mut sr2) = self
             .protocol
             .transition(si, sr)
             .unwrap_or_else(|| {
@@ -171,7 +181,20 @@ impl<'a, P: InteractionSchema + ?Sized> JumpSimulation<'a, P> {
                      returned None (protocol contract violation)"
                 )
             });
-        debug_assert!(si2 != si || sr2 != sr, "identity rewrite for ({si},{sr})");
+        match &self.byz {
+            Some(byz) => {
+                let (veto_i, veto_r) = byz.veto(&mut self.rng, &self.state.counts, si, sr);
+                if veto_i {
+                    si2 = si;
+                }
+                if veto_r {
+                    sr2 = sr;
+                }
+            }
+            None => {
+                debug_assert!(si2 != si || sr2 != sr, "identity rewrite for ({si},{sr})");
+            }
+        }
         if si != si2 {
             self.state.update_count(si, -1);
             self.state.update_count(si2, 1);
@@ -180,7 +203,7 @@ impl<'a, P: InteractionSchema + ?Sized> JumpSimulation<'a, P> {
             self.state.update_count(sr, -1);
             self.state.update_count(sr2, 1);
         }
-        Some(((si, sr), (si2, sr2)))
+        ((si, sr), (si2, sr2))
     }
 
     /// Run until silent or until more than `max_interactions` have elapsed.
@@ -231,9 +254,13 @@ impl<'a, P: InteractionSchema + ?Sized> JumpSimulation<'a, P> {
                 && (to as usize) < self.state.counts.len(),
             "state out of range"
         );
+        let reserved = self
+            .byz
+            .as_ref()
+            .map_or(0, |byz| byz.counts[from as usize]);
         assert!(
-            self.state.counts[from as usize] > 0,
-            "state {from} is unoccupied"
+            self.state.counts[from as usize] > reserved,
+            "state {from} has no non-Byzantine occupant"
         );
         if from == to {
             return;
@@ -322,6 +349,50 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for JumpSimulation<'_,
         }
     }
 
+    fn advance_to(
+        &mut self,
+        cap: u128,
+        observer: &mut dyn crate::engine::CountObserver,
+    ) -> CappedAdvance {
+        let w = self.state.productive_pairs();
+        if w == 0 {
+            return CappedAdvance::Silent;
+        }
+        if (self.interactions as u128) >= cap {
+            return CappedAdvance::CapReached;
+        }
+        debug_assert!(w <= self.ordered_pairs);
+        let p = w as f64 / self.ordered_pairs as f64;
+        let gap = self.rng.geometric(p);
+        let next = (self.interactions as u128) + gap as u128 + 1;
+        if next > cap {
+            // Exact truncation: by memorylessness the time to the next
+            // productive interaction, measured from the cap, is again
+            // geometric under whatever weights then hold.
+            self.interactions = cap.min(u64::MAX as u128) as u64;
+            return CappedAdvance::CapReached;
+        }
+        self.interactions = next as u64;
+        self.productive += 1;
+        let (before, after) = self.sample_and_apply();
+        observer.on_productive(self.interactions, before, after, 1, &self.state.counts);
+        CappedAdvance::Applied(1)
+    }
+
+    fn set_byzantine(&mut self, byz: &[u32]) {
+        self.byz = ByzOverlay::build(byz, &self.state.counts);
+    }
+
+    fn num_rank_states(&self) -> usize {
+        self.state.num_ranks
+    }
+
+    fn skip_nulls(&mut self, nulls: u128) {
+        self.interactions = self
+            .interactions
+            .saturating_add(nulls.min(u64::MAX as u128) as u64);
+    }
+
     fn inject_state_fault(&mut self, from: State, to: State) {
         JumpSimulation::inject_fault(self, from, to);
     }
@@ -346,6 +417,9 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for JumpSimulation<'_,
         fresh.interactions = snapshot.interactions.min(u64::MAX as u128) as u64;
         fresh.productive = snapshot.productive;
         fresh.rng = snapshot.rng.clone();
+        // The Byzantine overlay is an engine-level property, not part of
+        // the captured configuration: it survives the restore.
+        fresh.byz = self.byz.take();
         *self = fresh;
     }
 }

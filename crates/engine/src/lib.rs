@@ -65,8 +65,13 @@
 //!   run-to-silence, count-level observers, fault injection,
 //!   snapshot/restore, and the engine factory with `Auto` selection.
 //! * [`runner`] — the [`Scenario`](runner::Scenario) builder: protocol +
-//!   engine + init family + faults + trials, run in parallel with
+//!   engine + init family + fault plan + trials, run in parallel with
 //!   deterministic seeding.
+//! * [`faults`] — the adversary subsystem: timed [`FaultPlan`]s (bursts,
+//!   periodic bursts, rate faults, churn, Byzantine agents) executed
+//!   deterministically by every engine via [`run_with_plan`], with
+//!   graceful non-convergence reporting ([`RunOutcome`]: availability,
+//!   `k`-excursions, per-burst recovery times).
 //! * [`sim`] — the naive step-by-step simulator with observer hooks.
 //! * [`jump`] — the exact jump-chain simulator (skips null interactions,
 //!   same stochastic process, orders of magnitude faster near silence).
@@ -129,11 +134,15 @@ pub mod sim;
 
 pub use count::CountSimulation;
 pub use engine::{
-    make_engine, make_engine_from_counts, make_engine_threaded, CountObserver, Engine,
-    EngineKind, EngineSnapshot,
+    make_engine, make_engine_from_counts, make_engine_threaded, CappedAdvance, CountObserver,
+    Engine, EngineKind, EngineSnapshot,
 };
 pub use error::{ConfigError, StabilisationTimeout};
-pub use faults::{perturb_counts, rank_distance, recovery_after_faults, RecoveryReport};
+pub use faults::{
+    perturb_counts, rank_distance, recovery_after_faults, run_with_plan, BurstRecord, FaultPlan,
+    RecoveryReport, RunOutcome,
+};
+pub use observer::RecoveryTracker;
 pub use jump::JumpSimulation;
 pub use protocol::{
     validate_interaction_schema, ClassSpec, CrossDirection, InteractionClass, InteractionSchema,

@@ -4,8 +4,10 @@
 //! "With high probability" statements are measured over many independent
 //! trials. A `Scenario` names the protocol, the engine
 //! ([`EngineKind::Auto`] by default — count at large `n`, jump below), the
-//! initial-configuration family, optional transient faults, and the trial
-//! budget; [`Scenario::run`] executes the trials in parallel with
+//! initial-configuration family, an optional [`FaultPlan`] (timed bursts,
+//! background corruption, churn, Byzantine agents — see
+//! [`Scenario::fault_plan`]), and the trial budget; [`Scenario::run`]
+//! executes the trials in parallel with
 //! deterministic per-trial seeds derived from a single base seed, so an
 //! experiment is reproducible regardless of thread count. The scenario's
 //! [`threads`](Scenario::threads) value is a single core budget split
@@ -47,6 +49,7 @@
 
 use crate::engine::{make_engine_from_counts, make_engine_threaded, Engine, EngineKind};
 use crate::error::{ConfigError, StabilisationTimeout};
+use crate::faults::{run_with_plan, FaultPlan, RunOutcome};
 use crate::init::{self, DuplicatePlacement};
 use crate::protocol::{InteractionSchema, State};
 use crate::rng::{derive_seed, Xoshiro256};
@@ -189,14 +192,14 @@ impl std::fmt::Debug for Init<'_> {
 }
 
 /// A declarative experiment: protocol + engine + initial configuration +
-/// optional transient faults + trial budget. See the module docs for an
+/// optional fault plan + trial budget. See the module docs for an
 /// example.
 #[derive(Debug)]
 pub struct Scenario<'a, P: InteractionSchema + Sync + ?Sized> {
     protocol: &'a P,
     engine: EngineKind,
     init: Init<'a>,
-    faults: usize,
+    plan: Option<FaultPlan>,
     trials: usize,
     max_interactions: u64,
     base_seed: u64,
@@ -212,7 +215,7 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
             protocol,
             engine: EngineKind::Auto,
             init: Init::Uniform,
-            faults: 0,
+            plan: None,
             trials: 1,
             max_interactions: u64::MAX,
             base_seed: 0,
@@ -233,12 +236,25 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
         self
     }
 
-    /// Corrupt each trial's start configuration with this many transient
-    /// faults: every fault rewrites one uniformly random agent to a
-    /// uniformly random state (possibly its own — real fault models do not
-    /// guarantee damage).
-    pub fn faults(mut self, faults: usize) -> Self {
-        self.faults = faults;
+    /// Corrupt each trial's start with this many transient faults: every
+    /// fault rewrites one uniformly random agent to a uniformly random
+    /// state (possibly its own — real fault models do not guarantee
+    /// damage). Sugar for [`fault_plan`](Self::fault_plan) with
+    /// [`FaultPlan::once`]; zero clears the plan.
+    pub fn faults(self, faults: usize) -> Self {
+        let plan = (faults > 0).then(|| FaultPlan::once(faults as u32));
+        Self { plan, ..self }
+    }
+
+    /// Attach a timed [`FaultPlan`] executed deterministically against
+    /// each trial's engine: bursts at arbitrary clock times, periodic
+    /// bursts, background corruption, replacement churn, and Byzantine
+    /// agents (see [`run_with_plan`]). Each trial derives an independent
+    /// fault seed from the base seed, so fault sequences are reproducible
+    /// and engine-independent. Plans with persistent processes require a
+    /// finite [`max_interactions`](Self::max_interactions).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
         self
     }
 
@@ -277,11 +293,14 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
         self
     }
 
-    /// The configuration trial `t` starts from (faults applied).
+    /// The configuration trial `t` starts from. Faults no longer touch
+    /// the configuration here: a [`FaultPlan`] executes against the
+    /// running engine (a `t = 0` burst reproduces the corrupt-at-start
+    /// model).
     fn trial_config(&self, trial: u64) -> Vec<State> {
         let config_seed = derive_seed(self.base_seed, trial * 2);
         let n = self.protocol.population_size();
-        let mut config = match self.init {
+        match self.init {
             Init::Stacked => init::all_in(n, 0),
             Init::AllIn(s) => init::all_in(n, s),
             Init::Uniform => {
@@ -294,28 +313,17 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
                 init::k_distant(n, k, DuplicatePlacement::Random, &mut rng)
             }
             Init::Custom(make) => make(config_seed),
-        };
-        if self.faults > 0 {
-            let mut rng = Xoshiro256::seed_from_u64(config_seed ^ 0xFA17_FA17_FA17_FA17);
-            let states = self.protocol.num_states();
-            for _ in 0..self.faults {
-                let victim = rng.below_usize(config.len());
-                config[victim] = rng.below_usize(states) as State;
-            }
         }
-        config
     }
 
     /// The configuration trial `t` starts from, as per-state occupancy
     /// counts and without materialising the agent vector — available for
-    /// the init families whose counts can be generated directly (and only
-    /// without faults, which address individual agents). Consumes the RNG
-    /// identically to [`trial_config`](Self::trial_config), so the
-    /// resulting multiset of states is the same either way.
+    /// the init families whose counts can be generated directly (fault
+    /// plans execute against the engine, so they do not force the agent
+    /// vector). Consumes the RNG identically to
+    /// [`trial_config`](Self::trial_config), so the resulting multiset of
+    /// states is the same either way.
     fn trial_counts(&self, trial: u64) -> Option<Vec<u32>> {
-        if self.faults > 0 {
-            return None;
-        }
         let config_seed = derive_seed(self.base_seed, trial * 2);
         let n = self.protocol.population_size();
         let num_states = self.protocol.num_states();
@@ -388,6 +396,12 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
 
     /// Run a single trial to silence (or the interaction cap).
     ///
+    /// With a fault plan attached this executes the plan and collapses the
+    /// [`RunOutcome`] into the classic result shape: a run that ends
+    /// silent is `Ok`, a run that reaches the cap still perturbed is a
+    /// [`StabilisationTimeout`]. Use [`run_outcome`](Self::run_outcome)
+    /// to keep the availability and recovery observables instead.
+    ///
     /// # Errors
     ///
     /// Returns [`StabilisationTimeout`] when the cap is exceeded first.
@@ -395,12 +409,48 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
     /// # Panics
     ///
     /// Panics if the configuration generator produces an invalid
-    /// configuration.
+    /// configuration, or if the plan has a persistent fault process and
+    /// no finite cap is set.
     pub fn run_one(&self, trial: u64) -> Result<StabilisationReport, StabilisationTimeout> {
+        if self.plan.is_some() {
+            let outcome = self.run_outcome(trial);
+            return if outcome.silent {
+                Ok(outcome.report)
+            } else {
+                Err(StabilisationTimeout {
+                    interactions: outcome.report.interactions,
+                })
+            };
+        }
         let mut engine = self
             .build_engine(trial)
             .expect("scenario produced an invalid configuration");
         engine.run_until_silent(self.max_interactions)
+    }
+
+    /// Run a single trial under the scenario's fault plan (an empty plan
+    /// if none was attached) and report the full [`RunOutcome`]:
+    /// availability, `k`-distance excursions, per-burst recovery times,
+    /// and whether the run ended silent. Non-convergence is reported, not
+    /// an error.
+    ///
+    /// The fault process draws from a per-trial seed derived from the
+    /// base seed (independent of the configuration and simulation seeds),
+    /// so the schedule is identical across engines and thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration generator produces an invalid
+    /// configuration, or if the plan has a persistent fault process and
+    /// no finite cap is set.
+    pub fn run_outcome(&self, trial: u64) -> RunOutcome {
+        let mut engine = self
+            .build_engine(trial)
+            .expect("scenario produced an invalid configuration");
+        let empty = FaultPlan::new();
+        let plan = self.plan.as_ref().unwrap_or(&empty);
+        let fault_seed = derive_seed(self.base_seed, trial * 2) ^ 0xFA17_FA17_FA17_FA17;
+        run_with_plan(engine.as_mut(), plan, fault_seed, self.max_interactions)
     }
 
     /// Split the scenario's core budget across the two parallelism
@@ -443,14 +493,34 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
     /// Panics if the configuration generator produces an invalid
     /// configuration.
     pub fn run(&self) -> TrialResults {
+        TrialResults {
+            reports: self.run_map(|t| self.run_one(t)),
+        }
+    }
+
+    /// Run all trials under the fault plan and keep the full
+    /// [`RunOutcome`] per trial (see [`run_outcome`](Self::run_outcome)),
+    /// in trial order, parallelised like [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration generator produces an invalid
+    /// configuration, or if the plan has a persistent fault process and
+    /// no finite cap is set.
+    pub fn run_outcomes(&self) -> Vec<RunOutcome> {
+        self.run_map(|t| self.run_outcome(t))
+    }
+
+    /// Run `f` once per trial index, trial-parallel under the scenario's
+    /// core budget, collecting results in trial order.
+    fn run_map<R: Send>(&self, f: impl Fn(u64) -> R + Sync) -> Vec<R> {
         let trials = self.trials;
         let (threads, _) = self.thread_split();
-        let mut reports: Vec<Option<Result<StabilisationReport, StabilisationTimeout>>> =
-            vec![None; trials];
+        let mut results: Vec<Option<R>> = (0..trials).map(|_| None).collect();
 
         if threads <= 1 || trials <= 1 {
-            for (t, slot) in reports.iter_mut().enumerate() {
-                *slot = Some(self.run_one(t as u64));
+            for (t, slot) in results.iter_mut().enumerate() {
+                *slot = Some(f(t as u64));
             }
         } else {
             let next = std::sync::atomic::AtomicUsize::new(0);
@@ -459,26 +529,24 @@ impl<'a, P: InteractionSchema + Sync + ?Sized> Scenario<'a, P> {
                 for _ in 0..threads {
                     let tx = tx.clone();
                     let next = &next;
-                    let this = &*self;
+                    let f = &f;
                     scope.spawn(move || loop {
                         let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if t >= trials {
                             break;
                         }
-                        let r = this.run_one(t as u64);
+                        let r = f(t as u64);
                         tx.send((t, r)).expect("result channel closed");
                     });
                 }
                 drop(tx);
                 for (t, r) in rx {
-                    reports[t] = Some(r);
+                    results[t] = Some(r);
                 }
             });
         }
 
-        TrialResults {
-            reports: reports.into_iter().map(|r| r.expect("trial ran")).collect(),
-        }
+        results.into_iter().map(|r| r.expect("trial ran")).collect()
     }
 
     fn effective_threads(&self) -> usize {
@@ -675,6 +743,50 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_outcomes_report_bursts_and_are_deterministic() {
+        let p = Ag { n: 20 };
+        let s = Scenario::new(&p)
+            .init(Init::Perfect)
+            .fault_plan(FaultPlan::new().burst_at(1_000, 4))
+            .trials(6)
+            .base_seed(53);
+        let outcomes = s.run_outcomes();
+        assert_eq!(outcomes.len(), 6);
+        for o in &outcomes {
+            assert!(o.silent);
+            assert_eq!(o.faults_injected, 4);
+            assert_eq!(o.bursts.len(), 1);
+            assert_eq!(o.bursts[0].time, 1_000);
+        }
+        // Trial-parallel execution must not change any outcome.
+        let serial = Scenario::new(&p)
+            .init(Init::Perfect)
+            .fault_plan(FaultPlan::new().burst_at(1_000, 4))
+            .trials(6)
+            .base_seed(53)
+            .threads(1)
+            .run_outcomes();
+        assert_eq!(outcomes, serial);
+    }
+
+    #[test]
+    fn byzantine_scenario_degrades_gracefully_to_an_outcome() {
+        // Acceptance: a Byzantine run terminates with a RunOutcome
+        // reporting reduced availability instead of an error or a hang.
+        let p = Ag { n: 16 };
+        let s = Scenario::new(&p)
+            .init(Init::Stacked)
+            .fault_plan(FaultPlan::new().byzantine(2))
+            .max_interactions(150_000)
+            .base_seed(8);
+        let outcome = s.run_outcome(0);
+        assert!(!outcome.silent);
+        assert!(outcome.availability < 1.0);
+        // The classic interface reports the same run as a timeout.
+        assert!(s.run_one(0).is_err());
+    }
+
+    #[test]
     fn config_seed_feeds_generator() {
         let p = Ag { n: 8 };
         let cfg = TrialConfig::new(3).with_base_seed(9);
@@ -716,8 +828,9 @@ mod tests {
                 crate::init::counts(&s.trial_config(0), p.num_states());
             assert_eq!(via_counts, via_agents, "{init:?}");
         }
-        // Faults force the agent-vector path (they address agents).
-        assert!(Scenario::new(&p).faults(1).trial_counts(0).is_none());
+        // Fault plans execute against the engine, so they no longer
+        // force the agent-vector path.
+        assert!(Scenario::new(&p).faults(1).trial_counts(0).is_some());
         assert!(Scenario::new(&p).init(Init::KDistant(2)).trial_counts(0).is_none());
     }
 

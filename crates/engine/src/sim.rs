@@ -77,6 +77,8 @@ pub struct Simulation<'a, P: Protocol + ?Sized> {
     interactions: u64,
     productive: u64,
     rng: Xoshiro256,
+    /// Per-agent Byzantine/stuck-at flags; empty when no overlay is active.
+    byz: Vec<bool>,
 }
 
 impl<'a, P: Protocol + ?Sized> Simulation<'a, P> {
@@ -112,6 +114,7 @@ impl<'a, P: Protocol + ?Sized> Simulation<'a, P> {
             interactions: 0,
             productive: 0,
             rng: Xoshiro256::seed_from_u64(seed),
+            byz: Vec::new(),
         })
     }
 
@@ -259,11 +262,25 @@ impl<'a, P: Protocol + ?Sized> Simulation<'a, P> {
         let sr = self.agents[r];
         match self.protocol.transition(si, sr) {
             None => None,
-            Some((si2, sr2)) => {
-                debug_assert!(
-                    si2 != si || sr2 != sr,
-                    "protocol returned an identity rewrite for ({si},{sr})"
-                );
+            Some((mut si2, mut sr2)) => {
+                if self.byz.is_empty() {
+                    debug_assert!(
+                        si2 != si || sr2 != sr,
+                        "protocol returned an identity rewrite for ({si},{sr})"
+                    );
+                } else {
+                    // Byzantine/stuck-at participants veto their own
+                    // rewrite; the partner still updates. The scheduler
+                    // draw counts as productive either way — it is a
+                    // chain event, vetoed or not, which keeps the clock
+                    // semantics aligned with the counts-based engines.
+                    if self.byz[i] {
+                        si2 = si;
+                    }
+                    if self.byz[r] {
+                        sr2 = sr;
+                    }
+                }
                 self.productive += 1;
                 self.agents[i] = si2;
                 self.agents[r] = sr2;
@@ -466,12 +483,80 @@ impl<P: Protocol + ?Sized> crate::engine::Engine for Simulation<'_, P> {
         Simulation::run_until_silent_observed(self, max_interactions, &mut Adapter(observer))
     }
 
+    fn advance_to(
+        &mut self,
+        cap: u128,
+        observer: &mut dyn crate::engine::CountObserver,
+    ) -> crate::engine::CappedAdvance {
+        if Simulation::is_silent(self) {
+            return crate::engine::CappedAdvance::Silent;
+        }
+        if (self.interactions as u128) >= cap {
+            return crate::engine::CappedAdvance::CapReached;
+        }
+        match self.step() {
+            Some(event) => {
+                observer.on_productive(self.interactions, event.before, event.after, 1, &self.counts);
+                crate::engine::CappedAdvance::Applied(1)
+            }
+            None => crate::engine::CappedAdvance::Applied(0),
+        }
+    }
+
+    fn set_byzantine(&mut self, byz: &[u32]) {
+        assert_eq!(
+            byz.len(),
+            self.counts.len(),
+            "byzantine spec length {} does not match the state space {}",
+            byz.len(),
+            self.counts.len()
+        );
+        if byz.iter().all(|&b| b == 0) {
+            self.byz.clear();
+            return;
+        }
+        // Mark, for each state s, the first byz[s] agents currently in s
+        // (scan order over the agent vector — a deterministic selection;
+        // agents are anonymous, so any selection rule yields the same
+        // process).
+        let mut quota = byz.to_vec();
+        let mut flags = vec![false; self.agents.len()];
+        for (i, &s) in self.agents.iter().enumerate() {
+            if quota[s as usize] > 0 {
+                quota[s as usize] -= 1;
+                flags[i] = true;
+            }
+        }
+        for (s, &q) in quota.iter().enumerate() {
+            assert!(
+                q == 0,
+                "byzantine spec asks for {} stuck agents in state {s} but \
+                 only {} are present",
+                byz[s],
+                self.counts[s]
+            );
+        }
+        self.byz = flags;
+    }
+
+    fn num_rank_states(&self) -> usize {
+        self.num_ranks
+    }
+
+    fn skip_nulls(&mut self, nulls: u128) {
+        self.interactions = self
+            .interactions
+            .saturating_add(nulls.min(u64::MAX as u128) as u64);
+    }
+
     fn inject_state_fault(&mut self, from: State, to: State) {
+        let byz = &self.byz;
         let agent = self
             .agents
             .iter()
-            .position(|&s| s == from)
-            .unwrap_or_else(|| panic!("state {from} is unoccupied"));
+            .enumerate()
+            .position(|(i, &s)| s == from && !byz.get(i).copied().unwrap_or(false))
+            .unwrap_or_else(|| panic!("state {from} has no non-Byzantine occupant"));
         Simulation::inject_fault(self, agent, to);
     }
 

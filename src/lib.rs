@@ -19,7 +19,8 @@
 //!   (O(#states) memory, scales to populations of 10⁷+), all driven by the
 //!   declarative [`InteractionSchema`](engine::InteractionSchema);
 //!   configuration generators; the [`Scenario`](engine::Scenario) trial
-//!   runner;
+//!   runner; the adversary subsystem (timed [`FaultPlan`](engine::FaultPlan)s
+//!   with churn and Byzantine agents, graceful non-convergence reporting);
 //! * [`topology`] — perfectly balanced binary trees, the cubic routing
 //!   graph `G`, trap layouts;
 //! * [`protocols`] — the four protocols: `Θ(n²)` baseline `A_G`,
@@ -72,9 +73,10 @@ pub mod prelude {
     };
     pub use ssr_engine::{
         init, make_engine, make_engine_from_counts, make_engine_threaded,
-        recovery_after_faults, rng::Xoshiro256, run_trials, validate_interaction_schema,
-        ClassSpec, ClusteredScheduler, CountSimulation, CrossDirection, Engine, EngineKind,
-        Init, InteractionClass, InteractionSchema, JumpSimulation, Protocol, Scenario,
+        recovery_after_faults, rng::Xoshiro256, run_trials, run_with_plan,
+        validate_interaction_schema, BurstRecord, ClassSpec, ClusteredScheduler,
+        CountSimulation, CrossDirection, Engine, EngineKind, FaultPlan, Init,
+        InteractionClass, InteractionSchema, JumpSimulation, Protocol, RunOutcome, Scenario,
         Scheduler, Simulation, State, TrialConfig, UniformScheduler, ZipfScheduler,
     };
     pub use ssr_topology::{BalancedTree, CubicGraph, TrapChain};

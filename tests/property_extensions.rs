@@ -185,3 +185,33 @@ proptest! {
         prop_assert!(init::is_perfect_ranking(sim.agents(), n));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under an arbitrary mixed fault plan, Byzantine agents never
+    /// update: pinned into state 0 by a stacked start, their mass stays
+    /// in state 0 for any seed and horizon — background corruption and
+    /// churn select victims from the non-Byzantine complement only —
+    /// and churn replaces agents rather than removing them, so the
+    /// population total is conserved exactly.
+    #[test]
+    fn byzantine_mass_is_invariant_and_churn_conserves_population(
+        n in 8usize..40,
+        byz in 1u32..5,
+        horizon_pt in 10u64..120,
+        seed in any::<u64>(),
+    ) {
+        let p = GenericRanking::new(n);
+        let plan = FaultPlan::new()
+            .byzantine(byz)
+            .churn(0.002)
+            .rate(0.002);
+        let mut e = make_engine(EngineKind::Jump, &p, vec![0; n], seed).unwrap();
+        let out = run_with_plan(e.as_mut(), &plan, seed ^ 0xAD17, horizon_pt * n as u64);
+        prop_assert!(e.counts()[0] >= byz);
+        prop_assert_eq!(e.counts().iter().map(|&c| u64::from(c)).sum::<u64>(), n as u64);
+        prop_assert!((0.0..=1.0).contains(&out.availability));
+        prop_assert!(out.mean_k <= out.max_k as f64);
+    }
+}
