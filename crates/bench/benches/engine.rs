@@ -16,7 +16,7 @@
 //! Results are written to `BENCH_engines.json` by the criterion shim.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ssr_core::{GenericRanking, TreeRanking};
+use ssr_core::{GenericRanking, LooseLeaderElection, TreeRanking};
 use ssr_engine::engine::{make_engine, Engine, EngineKind};
 use ssr_engine::fenwick::Fenwick;
 use ssr_engine::rng::Xoshiro256;
@@ -232,6 +232,44 @@ fn bench_count_batching(c: &mut Criterion) {
         )
     });
     group.finish();
+
+    // The rule-heavy regime: loose leader election at n = 65536 declares
+    // ~18.9k enumerated sparse pairs (τ = 136), the class the per-group
+    // hierarchical batching targets. From the stacked all-zero-timer
+    // start the occupied-pair count stays far below the declared count,
+    // so the batched entries exercise the sparse split path from the
+    // first quantum; `exact` pins the pre-batching fallback cost for the
+    // before/after grid in EXPERIMENTS.md.
+    let n = 65_536;
+    let p = LooseLeaderElection::new(n);
+    let budget = 1_000_000u64;
+    let mut group = c.benchmark_group("count_batching_loose_n65536");
+    group.throughput(Throughput::Elements(budget));
+    group.sample_size(10);
+    for (label, batching, threads) in [
+        ("batched", true, 1),
+        ("batched_pool_t2", true, 2),
+        ("exact", false, 1),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    CountSimulation::new(&p, vec![0; n], 7)
+                        .unwrap()
+                        .with_batching(batching)
+                        .with_threads(threads)
+                },
+                |mut sim| {
+                    while sim.productive_interactions() < budget
+                        && sim.advance_chain().is_some()
+                    {}
+                    black_box(sim.productive_interactions())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
 }
 
 fn bench_primitives(c: &mut Criterion) {
@@ -246,6 +284,24 @@ fn bench_primitives(c: &mut Criterion) {
     c.bench_function("rng_binomial_large", |b| {
         let mut rng = Xoshiro256::seed_from_u64(4);
         b.iter(|| black_box(rng.binomial(1_000_000, 0.3)))
+    });
+    // The weight-state maintenance hot path under a rule-heavy schema:
+    // moving one agent between two follower timer states of loose leader
+    // election (τ = 136) re-weights every enumerated pair touching either
+    // state (~2τ pairs each). Driven through the public fault-injection
+    // path — each iteration is four `ClassState::update_count` calls (a
+    // move and its inverse, keeping the configuration fixed).
+    c.bench_function("class_update_count_loose_tau136", |b| {
+        let n = 65_536usize;
+        let p = LooseLeaderElection::new(n);
+        let timers = p.timer_max() as usize + 1;
+        let spread: Vec<u32> = (0..n).map(|i| (i % timers) as u32).collect();
+        let mut sim = CountSimulation::new(&p, spread, 9).unwrap();
+        b.iter(|| {
+            sim.inject_fault(10, 20);
+            sim.inject_fault(20, 10);
+            black_box(sim.interactions())
+        })
     });
     c.bench_function("fenwick_set_sample_4096", |b| {
         let mut f = Fenwick::new(4096);

@@ -21,6 +21,30 @@
 //!   + Σ_(a,b) c_a·(c_b − [a = b])                  (enumerated sparse pairs)
 //! ```
 //!
+//! # Sparse pairs: a two-level hierarchy
+//!
+//! The enumerated sparse pairs are stored **grouped by initiator state**:
+//! [`CompiledSchema::compile`] reorders `pairs` so each initiator's pairs
+//! are contiguous (`group_off` delimits the groups, CSR-style), and
+//! [`SparseState`] keeps one small [`WeightTree`] per group plus a
+//! top-level tree over group totals. Because the groups tile the pair
+//! index space contiguously in ascending order, descending the top tree
+//! and then a group tree visits the identical prefix-sum order as one
+//! flat tree over all pairs — sampling stays a single RNG draw and the
+//! batch splitter can carve the sparse class into **per-group split
+//! tasks** that run in parallel yet merge deterministically.
+//!
+//! Alongside the trees, `SparseState` maintains the per-pair drift
+//! statistics the count engine's batch sizing needs, *incrementally* under
+//! [`ClassState::update_count`]: exact per-state partner sums
+//! (`Σ_(pairs touching s) c_partner`, via the `pair_touch` CSR) and two
+//! lazily-refreshed maxima — the largest per-pair scale
+//! `max(c_a, c_b)` and the largest partner sum — kept as *stale-high*
+//! bounds with the same eager-grow/lazy-shrink discipline as
+//! `max_eq_bound`/`refresh_max_eq`. That replaces the old per-batch
+//! `O(Σ deg)` full rescan (`sparse_partner_scale`) with `O(deg(s))` work
+//! per count change and an occasional exact refresh.
+//!
 //! # Memory
 //!
 //! The per-rank-state weight structures (`eq`, `rank_occ`) do **not** store
@@ -570,13 +594,26 @@ pub(crate) struct CompiledSchema {
     /// declarations merge into `Both`).
     pub cross: Option<CrossDirection>,
     pub cross_exchangeable: bool,
-    /// Enumerated sparse pairs, in declaration order.
+    /// Enumerated sparse pairs, reordered group-contiguously: stably
+    /// sorted by initiator state, so each initiator's pairs form one
+    /// contiguous index range (a *group* — the unit of the two-level
+    /// sparse weight hierarchy and of parallel sparse split tasks).
     pub pairs: Vec<(State, State)>,
     /// All sparse pairs exchangeable (the batch granularity is the class).
     pub pairs_exchangeable: bool,
-    /// For each state, the indices into `pairs` whose weight depends on
-    /// that state's occupancy (empty when there are no pairs).
-    pub pairs_by_state: Vec<Vec<u32>>,
+    /// CSR offsets into [`pair_touch`](Self::pair_touch): the pair indices
+    /// whose weight depends on state `s`'s occupancy are
+    /// `pair_touch[pair_touch_off[s]..pair_touch_off[s + 1]]`, ascending.
+    /// (Length `num_states + 1`, empty when there are no pairs.)
+    pub pair_touch_off: Vec<u32>,
+    /// CSR indices for [`pair_touch_off`](Self::pair_touch_off).
+    pub pair_touch: Vec<u32>,
+    /// Group boundaries: group `g` owns pairs
+    /// `group_off[g]..group_off[g + 1]` (length `num_groups + 1`; one
+    /// group per distinct initiator state, in ascending state order).
+    pub group_off: Vec<u32>,
+    /// Group of each pair (inverse of [`group_off`](Self::group_off)).
+    pub pair_group: Vec<u32>,
 }
 
 impl CompiledSchema {
@@ -584,6 +621,30 @@ impl CompiledSchema {
     #[inline]
     pub fn eq_rule(&self, s: usize) -> bool {
         self.eq && (self.has_eq[s >> 6] >> (s & 63)) & 1 != 0
+    }
+
+    /// Indices of the pairs whose weight depends on state `s`'s occupancy
+    /// (ascending; empty when there are no pairs).
+    #[inline]
+    pub fn pair_touch(&self, s: usize) -> &[u32] {
+        if self.pair_touch_off.is_empty() {
+            return &[];
+        }
+        let lo = self.pair_touch_off[s] as usize;
+        let hi = self.pair_touch_off[s + 1] as usize;
+        &self.pair_touch[lo..hi]
+    }
+
+    /// Number of sparse groups (distinct initiator states).
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.group_off.len().saturating_sub(1)
+    }
+
+    /// Pair-index range owned by group `g`.
+    #[inline]
+    pub fn group_range(&self, g: usize) -> (usize, usize) {
+        (self.group_off[g] as usize, self.group_off[g + 1] as usize)
     }
 
     /// Flatten `p`'s declared classes.
@@ -607,7 +668,10 @@ impl CompiledSchema {
             cross_exchangeable: true,
             pairs: Vec::new(),
             pairs_exchangeable: true,
-            pairs_by_state: Vec::new(),
+            pair_touch_off: Vec::new(),
+            pair_touch: Vec::new(),
+            group_off: Vec::new(),
+            pair_group: Vec::new(),
         };
         for ClassSpec {
             class,
@@ -664,13 +728,54 @@ impl CompiledSchema {
             }
         }
         if !schema.pairs.is_empty() {
-            schema.pairs_by_state = vec![Vec::new(); num_states];
-            for (i, &(a, b)) in schema.pairs.iter().enumerate() {
-                schema.pairs_by_state[a as usize].push(i as u32);
+            // Group-contiguous reorder: one group per distinct initiator
+            // state. Pair order is not semantically observable — schema
+            // validation is set-based, and both engines sample pairs
+            // weight-proportionally through the same structure — so the
+            // stable sort is free to pick the layout the two-level
+            // hierarchy wants: each group a contiguous pair-index range.
+            schema.pairs.sort_by_key(|&(a, _)| a);
+            let np = schema.pairs.len();
+            let mut pair_group = vec![0u32; np];
+            let mut group_off: Vec<u32> = Vec::new();
+            let mut prev: Option<State> = None;
+            for (i, &(a, _)) in schema.pairs.iter().enumerate() {
+                if prev != Some(a) {
+                    group_off.push(i as u32);
+                    prev = Some(a);
+                }
+                pair_group[i] = group_off.len() as u32 - 1;
+            }
+            group_off.push(np as u32);
+            schema.group_off = group_off;
+            schema.pair_group = pair_group;
+            // Touch CSR (counting pass, then fill): which pairs re-weight
+            // when a state's occupancy changes. Filling in ascending pair
+            // order keeps every per-state list sorted — and therefore
+            // group-clustered, which lets `SparseState::on_count_change`
+            // coalesce its top-level tree updates per group.
+            let mut off = vec![0u32; num_states + 1];
+            for &(a, b) in &schema.pairs {
+                off[a as usize + 1] += 1;
                 if b != a {
-                    schema.pairs_by_state[b as usize].push(i as u32);
+                    off[b as usize + 1] += 1;
                 }
             }
+            for s in 0..num_states {
+                off[s + 1] += off[s];
+            }
+            let mut touch = vec![0u32; off[num_states] as usize];
+            let mut cursor: Vec<u32> = off.clone();
+            for (i, &(a, b)) in schema.pairs.iter().enumerate() {
+                touch[cursor[a as usize] as usize] = i as u32;
+                cursor[a as usize] += 1;
+                if b != a {
+                    touch[cursor[b as usize] as usize] = i as u32;
+                    cursor[b as usize] += 1;
+                }
+            }
+            schema.pair_touch_off = off;
+            schema.pair_touch = touch;
         }
         schema
     }
@@ -693,6 +798,265 @@ fn eq_weight_of(c: u64) -> u64 {
     c * c.saturating_sub(1)
 }
 
+/// Relative drift scale of one enumerated pair: `w_p / min(c_a, c_b)`,
+/// i.e. `max(c_a, c_b)` off the diagonal and `c − 1` on it. Capping the
+/// expected batch draws of every pair at `min(c_a, c_b)/8` is exactly
+/// `b ≤ W / (8·max_p pair_scale)`.
+#[inline]
+fn pair_scale(counts: &[u32], a: State, b: State) -> u64 {
+    if a == b {
+        (counts[a as usize] as u64).saturating_sub(1)
+    } else {
+        counts[a as usize].max(counts[b as usize]) as u64
+    }
+}
+
+/// Two-level weight hierarchy over the enumerated sparse pairs, plus the
+/// incrementally-maintained drift statistics that price a batch.
+///
+/// Pairs are laid out group-contiguously by [`CompiledSchema::compile`]
+/// (one group per initiator state); `trees[g]` holds group `g`'s pair
+/// weights under local indices and `groups` mirrors each `trees[g].total()`
+/// as leaf `g`. Because groups tile the pair index space in order, the
+/// concatenated prefix-sum order of the hierarchy equals that of one flat
+/// [`WeightTree`] over all pairs — sampling is draw-for-draw identical to
+/// the flat layout it replaces, and a batch can be split *per group* as
+/// independent tasks.
+///
+/// The drift side replaces the count engine's former per-batch `O(Σ deg)`
+/// rescan: `partner_sum` and `occupied` are exact under
+/// [`on_count_change`](Self::on_count_change), while the two `max_*`
+/// bounds grow eagerly and shrink only on
+/// [`refresh_bounds`](Self::refresh_bounds) — the same stale-high
+/// discipline as [`ClassState::max_eq_bound`].
+#[derive(Debug, Clone)]
+pub(crate) struct SparseState {
+    /// Per-group pair-weight trees (local pair indices).
+    trees: Vec<WeightTree>,
+    /// Top-level tree over groups; leaf `g` is `trees[g].total()`.
+    groups: WeightTree,
+    /// `partner_sum[s]` = Σ over pairs touching `s` of the partner's
+    /// occupancy (a diagonal pair at `s` contributes `2(c_s − 1)`): the
+    /// per-interaction rate at which sparse draws consume agents of `s`,
+    /// relative to `c_s/W`. Exact at all times.
+    partner_sum: Vec<u64>,
+    /// Upper bound on `max_s partner_sum[s]`; eager-grow, lazy-shrink.
+    pub max_partner_bound: u64,
+    /// Upper bound on `max_p pair_scale(p)` over positive-weight pairs;
+    /// eager-grow, lazy-shrink.
+    pub max_pair_scale_bound: u64,
+    /// Number of positive-weight pairs. Exact at all times.
+    occupied: u64,
+}
+
+impl SparseState {
+    /// Zero-pair placeholder.
+    pub fn empty() -> Self {
+        SparseState {
+            trees: Vec::new(),
+            groups: WeightTree::new(0),
+            partner_sum: Vec::new(),
+            max_partner_bound: 1,
+            max_pair_scale_bound: 1,
+            occupied: 0,
+        }
+    }
+
+    /// Build the hierarchy and drift statistics for `schema` under
+    /// `counts`.
+    pub fn new(schema: &CompiledSchema, counts: &[u32]) -> Self {
+        if schema.pairs.is_empty() {
+            return SparseState::empty();
+        }
+        let ng = schema.num_groups();
+        let mut trees = Vec::with_capacity(ng);
+        let mut groups = WeightTree::new(ng);
+        let mut occupied = 0u64;
+        for g in 0..ng {
+            let (start, end) = schema.group_range(g);
+            let weights: Vec<u64> = schema.pairs[start..end]
+                .iter()
+                .map(|&(a, b)| pair_weight(counts, a, b))
+                .collect();
+            occupied += weights.iter().filter(|&&w| w > 0).count() as u64;
+            let mut t = WeightTree::new(end - start);
+            t.assign(&weights);
+            groups.set(g, t.total());
+            trees.push(t);
+        }
+        let mut partner_sum = vec![0u64; counts.len()];
+        for &(a, b) in &schema.pairs {
+            if a == b {
+                partner_sum[a as usize] += 2 * (counts[a as usize] as u64).saturating_sub(1);
+            } else {
+                partner_sum[a as usize] += counts[b as usize] as u64;
+                partner_sum[b as usize] += counts[a as usize] as u64;
+            }
+        }
+        let mut state = SparseState {
+            trees,
+            groups,
+            partner_sum,
+            max_partner_bound: 1,
+            max_pair_scale_bound: 1,
+            occupied,
+        };
+        state.refresh_bounds(schema, counts);
+        state
+    }
+
+    /// Sum of all pair weights.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.groups.total()
+    }
+
+    /// Number of positive-weight pairs.
+    #[inline]
+    pub fn occupied_pairs(&self) -> u64 {
+        self.occupied
+    }
+
+    /// Number of groups.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Current weight of group `g`.
+    #[inline]
+    pub fn group_total(&self, g: usize) -> u64 {
+        self.groups.weight(g)
+    }
+
+    /// Batch drift scale of the sparse class: `W / scale / 8` draws keep
+    /// (a) every pair's expected draws under `min(c_a, c_b)/8` (the
+    /// per-pair cap, via `max_pair_scale_bound`) and (b) every state's
+    /// expected gross sparse consumption under `c_s/4` (the per-state
+    /// floor, via `max_partner_bound / 2` — a draw of pair `p` consumes an
+    /// agent of `s` at relative rate `c_s·partner_sum[s]/W`). The bounds
+    /// are stale-high between refreshes, so the scale never under-prices
+    /// drift.
+    #[inline]
+    pub fn drift_scale(&self) -> u64 {
+        self.max_pair_scale_bound
+            .max(self.max_partner_bound / 2)
+            .max(1)
+    }
+
+    /// Global pair index containing offset `target` of the concatenated
+    /// prefix-sum order — identical to a flat [`WeightTree::sample`] over
+    /// all pair weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= total()`, like [`WeightTree::sample`].
+    #[inline]
+    pub fn sample(&self, target: u64, schema: &CompiledSchema) -> usize {
+        let (g, rem) = match self.groups.try_sample_with_offset(target) {
+            Some(hit) => hit,
+            None => panic!(
+                "sample target {target} out of range (total weight {})",
+                self.total()
+            ),
+        };
+        schema.group_off[g] as usize + self.trees[g].sample(rem)
+    }
+
+    /// Multinomial split of `k` draws over group `g`'s pairs, appending
+    /// `(local_index, draws)` pairs (add `group_off[g]` for global
+    /// indices).
+    pub fn split_group(
+        &self,
+        g: usize,
+        k: u64,
+        rng: &mut Xoshiro256,
+        out: &mut Vec<(usize, u64)>,
+    ) {
+        self.trees[g].split(k, rng, out);
+    }
+
+    /// Account for state `s`'s occupancy changing `old → new`: re-weight
+    /// every pair touching `s`, and maintain the partner sums, occupied
+    /// count, and eager-grow bounds. `O(deg(s))` tree updates, with the
+    /// top-level group leaf written once per touched group (touch lists
+    /// are group-clustered).
+    pub fn on_count_change(
+        &mut self,
+        schema: &CompiledSchema,
+        counts: &[u32],
+        s: usize,
+        old: u64,
+        new: u64,
+    ) {
+        let mut cur_group = usize::MAX;
+        for &pi in schema.pair_touch(s) {
+            let pi = pi as usize;
+            let (a, b) = schema.pairs[pi];
+            let g = schema.pair_group[pi] as usize;
+            if g != cur_group {
+                if cur_group != usize::MAX {
+                    self.groups.set(cur_group, self.trees[cur_group].total());
+                }
+                cur_group = g;
+            }
+            let local = pi - schema.group_off[g] as usize;
+            let old_w = self.trees[g].weight(local);
+            let w = pair_weight(counts, a, b);
+            if w != old_w {
+                self.trees[g].set(local, w);
+                if old_w == 0 {
+                    self.occupied += 1;
+                } else if w == 0 {
+                    self.occupied -= 1;
+                }
+            }
+            if a == b {
+                // The diagonal pair at `s` is the only term of
+                // `partner_sum[s]` that moves when `c_s` changes.
+                let ps = &mut self.partner_sum[s];
+                *ps = *ps + 2 * new.saturating_sub(1) - 2 * old.saturating_sub(1);
+                if *ps > self.max_partner_bound {
+                    self.max_partner_bound = *ps;
+                }
+            } else {
+                let t = if a as usize == s { b } else { a } as usize;
+                let ps = &mut self.partner_sum[t];
+                *ps = *ps + new - old;
+                if *ps > self.max_partner_bound {
+                    self.max_partner_bound = *ps;
+                }
+            }
+            if w > 0 {
+                let sc = pair_scale(counts, a, b);
+                if sc > self.max_pair_scale_bound {
+                    self.max_pair_scale_bound = sc;
+                }
+            }
+        }
+        if cur_group != usize::MAX {
+            self.groups.set(cur_group, self.trees[cur_group].total());
+        }
+    }
+
+    /// Re-derive both lazy bounds exactly (they only grow between calls).
+    /// `O(num_states + num_pairs)`.
+    pub fn refresh_bounds(&mut self, schema: &CompiledSchema, counts: &[u32]) {
+        let mut max_partner = 1u64;
+        for &ps in &self.partner_sum {
+            max_partner = max_partner.max(ps);
+        }
+        self.max_partner_bound = max_partner;
+        let mut max_scale = 1u64;
+        for &(a, b) in &schema.pairs {
+            if pair_weight(counts, a, b) > 0 {
+                max_scale = max_scale.max(pair_scale(counts, a, b));
+            }
+        }
+        self.max_pair_scale_bound = max_scale;
+    }
+}
+
 /// Live weight state for a compiled schema: occupancy counts plus every
 /// per-class weight structure, kept consistent through
 /// [`update_count`](Self::update_count).
@@ -709,8 +1073,9 @@ pub(crate) struct ClassState {
     /// and splitting; leaves are the `counts` entries themselves (empty
     /// when no cross class is declared).
     pub rank_occ: BlockTree,
-    /// Per-sparse-pair weight (zero-length without enumerated pairs).
-    pub sparse: WeightTree,
+    /// Two-level sparse-pair hierarchy plus incremental drift statistics
+    /// (empty without enumerated pairs).
+    pub sparse: SparseState,
     pub rank_agents: u64,
     pub extra_agents: u64,
     /// Upper bound on the occupancy of any rank state with an equal-rank
@@ -751,7 +1116,7 @@ impl ClassState {
         let num_ranks = protocol.num_rank_states();
         let mut eq = BlockTree::new(if schema.eq { num_ranks } else { 0 });
         let mut rank_occ = BlockTree::new(if schema.cross.is_some() { num_ranks } else { 0 });
-        let mut sparse = WeightTree::new(schema.pairs.len());
+        let sparse = SparseState::new(&schema, &counts);
         let mut rank_agents = 0u64;
         let mut max_eq_bound = 1u64;
         for (s, &c) in counts.iter().take(num_ranks).enumerate() {
@@ -772,9 +1137,6 @@ impl ClassState {
         }
         if !rank_occ.is_empty() {
             rank_occ.rebuild(|s| counts[s] as u64);
-        }
-        for (i, &(a, b)) in schema.pairs.iter().enumerate() {
-            sparse.set(i, pair_weight(&counts, a, b));
         }
         let extra_agents = n as u64 - rank_agents;
         Ok(ClassState {
@@ -805,13 +1167,16 @@ impl ClassState {
                 cross_exchangeable: false,
                 pairs: Vec::new(),
                 pairs_exchangeable: false,
-                pairs_by_state: Vec::new(),
+                pair_touch_off: Vec::new(),
+                pair_touch: Vec::new(),
+                group_off: Vec::new(),
+                pair_group: Vec::new(),
             },
             counts: Vec::new(),
             num_ranks: 0,
             eq: BlockTree::new(0),
             rank_occ: BlockTree::new(0),
-            sparse: WeightTree::new(0),
+            sparse: SparseState::empty(),
             rank_agents: 0,
             extra_agents: 0,
             max_eq_bound: 0,
@@ -877,11 +1242,8 @@ impl ClassState {
                 .expect("extra population went negative");
         }
         if !self.schema.pairs.is_empty() {
-            for i in 0..self.schema.pairs_by_state[su].len() {
-                let pi = self.schema.pairs_by_state[su][i] as usize;
-                let (a, b) = self.schema.pairs[pi];
-                self.sparse.set(pi, pair_weight(&self.counts, a, b));
-            }
+            self.sparse
+                .on_count_change(&self.schema, &self.counts, su, old, new);
         }
     }
 
@@ -895,6 +1257,12 @@ impl ClassState {
             }
         }
         self.max_eq_bound = max;
+    }
+
+    /// Re-derive the sparse class's lazy drift bounds exactly (they only
+    /// grow between calls). `O(num_states + num_pairs)`.
+    pub fn refresh_sparse(&mut self) {
+        self.sparse.refresh_bounds(&self.schema, &self.counts);
     }
 
     /// Weight of the equal-rank class.
@@ -1008,7 +1376,7 @@ impl ClassState {
             };
         }
         u -= w_cross;
-        self.schema.pairs[self.sparse.sample(u)]
+        self.schema.pairs[self.sparse.sample(u, &self.schema)]
     }
 }
 
@@ -1017,6 +1385,7 @@ mod tests {
     use super::*;
     use crate::fenwick::Fenwick;
     use crate::protocol::Protocol;
+    use proptest::prelude::*;
 
     #[test]
     fn weight_tree_matches_reference() {
@@ -1448,5 +1817,227 @@ mod tests {
             .map(|&(a, b)| pair_weight(&counts, a, b))
             .sum();
         assert_eq!(covered, w, "every positive-weight pair must be reachable");
+    }
+
+    /// Five states, pairs across several initiator groups (including a
+    /// diagonal), declared deliberately out of group order — compile must
+    /// reorder them group-contiguously.
+    struct MultiGroup;
+    impl Protocol for MultiGroup {
+        fn name(&self) -> &str {
+            "multi-group"
+        }
+        fn population_size(&self) -> usize {
+            12
+        }
+        fn num_states(&self) -> usize {
+            5
+        }
+        fn num_rank_states(&self) -> usize {
+            5
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            match (i, r) {
+                (3, 0) | (0, 2) | (2, 2) | (0, 4) | (2, 1) | (4, 0) => {
+                    Some(((i + 1) % 5, r))
+                }
+                _ => None,
+            }
+        }
+    }
+    impl InteractionSchema for MultiGroup {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![
+                ClassSpec::pair(3, 0),
+                ClassSpec::pair(0, 2),
+                ClassSpec::pair(2, 2),
+                ClassSpec::pair(0, 4),
+                ClassSpec::pair(2, 1),
+                ClassSpec::pair(4, 0),
+            ]
+        }
+    }
+
+    #[test]
+    fn compile_builds_contiguous_groups_and_sorted_touch_csr() {
+        crate::protocol::validate_interaction_schema(&MultiGroup).unwrap();
+        let schema = CompiledSchema::compile(&MultiGroup);
+        // Stable sort by initiator: groups 0, 2, 3, 4 in order, with
+        // declaration order preserved within each group.
+        assert_eq!(
+            schema.pairs,
+            vec![(0, 2), (0, 4), (2, 2), (2, 1), (3, 0), (4, 0)]
+        );
+        assert_eq!(schema.group_off, vec![0, 2, 4, 5, 6]);
+        assert_eq!(schema.num_groups(), 4);
+        assert_eq!(schema.pair_group, vec![0, 0, 1, 1, 2, 3]);
+        for (pi, &g) in schema.pair_group.iter().enumerate() {
+            let (lo, hi) = schema.group_range(g as usize);
+            assert!(lo <= pi && pi < hi, "pair {pi} outside its group range");
+        }
+        // Touch CSR: every pair appears under both of its states (once on
+        // the diagonal), ascending within each state.
+        for s in 0..5usize {
+            let touch = schema.pair_touch(s);
+            assert!(touch.windows(2).all(|w| w[0] < w[1]), "state {s} unsorted");
+            for &pi in touch {
+                let (a, b) = schema.pairs[pi as usize];
+                assert!(a as usize == s || b as usize == s);
+            }
+        }
+        let total_touches: usize = (0..5).map(|s| schema.pair_touch(s).len()).sum();
+        // 5 off-diagonal pairs touch two states each, the diagonal one.
+        assert_eq!(total_touches, 11);
+    }
+
+    #[test]
+    fn sparse_two_level_sampling_matches_flat_tree() {
+        let counts = vec![3u32, 2, 4, 1, 2];
+        let st = ClassState::new(&MultiGroup, counts.clone()).unwrap();
+        let mut flat = WeightTree::new(st.schema.pairs.len());
+        for (i, &(a, b)) in st.schema.pairs.iter().enumerate() {
+            flat.set(i, pair_weight(&counts, a, b));
+        }
+        assert_eq!(st.sparse.total(), flat.total());
+        for u in 0..flat.total() {
+            assert_eq!(
+                st.sparse.sample(u, &st.schema),
+                flat.sample(u),
+                "offset {u}"
+            );
+        }
+        // Group totals mirror the per-group trees.
+        for g in 0..st.schema.num_groups() {
+            let (lo, hi) = st.schema.group_range(g);
+            let expect: u64 = (lo..hi).map(|i| flat.weight(i)).sum();
+            assert_eq!(st.sparse.group_total(g), expect, "group {g}");
+        }
+    }
+
+    /// From-scratch oracle for the incremental sparse drift statistics.
+    fn sparse_oracle(schema: &CompiledSchema, counts: &[u32]) -> (Vec<u64>, u64, u64, u64, u64) {
+        let mut partner = vec![0u64; counts.len()];
+        let mut occupied = 0u64;
+        let mut total = 0u64;
+        let mut max_scale = 1u64;
+        for &(a, b) in &schema.pairs {
+            if a == b {
+                partner[a as usize] += 2 * (counts[a as usize] as u64).saturating_sub(1);
+            } else {
+                partner[a as usize] += counts[b as usize] as u64;
+                partner[b as usize] += counts[a as usize] as u64;
+            }
+            let w = pair_weight(counts, a, b);
+            total += w;
+            if w > 0 {
+                occupied += 1;
+                max_scale = max_scale.max(pair_scale(counts, a, b));
+            }
+        }
+        let max_partner = partner.iter().copied().max().unwrap_or(0).max(1);
+        (partner, max_partner, max_scale, occupied, total)
+    }
+
+    /// Sparse test protocol over a runtime-chosen pair set (the proptest
+    /// vehicle below). The transition is never consulted by `ClassState`;
+    /// it exists to satisfy the trait.
+    struct RandPairs {
+        n: usize,
+        states: usize,
+        pairs: Vec<(State, State)>,
+    }
+    impl Protocol for RandPairs {
+        fn name(&self) -> &str {
+            "rand-pairs"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.states
+        }
+        fn num_rank_states(&self) -> usize {
+            self.states
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            self.pairs
+                .contains(&(i, r))
+                .then(|| ((i + 1) % self.states as State, r))
+        }
+    }
+    impl InteractionSchema for RandPairs {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            self.pairs
+                .iter()
+                .map(|&(a, b)| ClassSpec::pair(a, b))
+                .collect()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// After an arbitrary random walk of `update_count` calls, the
+        /// incrementally-maintained sparse statistics agree with the
+        /// from-scratch oracle: partner sums, occupied-pair count, and
+        /// total weight exactly at all times; the two lazy maxima
+        /// stale-high (never below the truth) until `refresh_sparse`,
+        /// exact after it. This is the invariant that lets `batch_params`
+        /// drop the per-batch `O(Σ deg)` partner-scale rescan.
+        #[test]
+        fn incremental_drift_scales_match_from_scratch_oracle(
+            seed in 0u64..5_000,
+            states in 2usize..11,
+            npairs in 1usize..22,
+            ops in 1usize..70,
+        ) {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let mut pairs: Vec<(State, State)> = Vec::new();
+            for _ in 0..npairs {
+                let a = rng.below(states as u64) as State;
+                let b = rng.below(states as u64) as State;
+                if !pairs.contains(&(a, b)) {
+                    pairs.push((a, b));
+                }
+            }
+            let mut counts: Vec<u32> =
+                (0..states).map(|_| rng.below(20) as u32).collect();
+            counts[0] += 1; // keep the walk feasible
+            let n: u64 = counts.iter().map(|&c| c as u64).sum();
+            let p = RandPairs { n: n as usize, states, pairs };
+            let mut st = ClassState::new(&p, counts).unwrap();
+            for _ in 0..ops {
+                let donor = loop {
+                    let s = rng.below(states as u64) as usize;
+                    if st.counts[s] > 0 {
+                        break s;
+                    }
+                };
+                let recv = rng.below(states as u64) as State;
+                st.update_count(donor as State, -1);
+                st.update_count(recv, 1);
+            }
+            let (partner, max_partner, max_scale, occupied, total) =
+                sparse_oracle(&st.schema, &st.counts);
+            prop_assert_eq!(&st.sparse.partner_sum, &partner);
+            prop_assert_eq!(st.sparse.occupied_pairs(), occupied);
+            prop_assert_eq!(st.sparse.total(), total);
+            for g in 0..st.schema.num_groups() {
+                let (lo, hi) = st.schema.group_range(g);
+                let expect: u64 = st.schema.pairs[lo..hi]
+                    .iter()
+                    .map(|&(a, b)| pair_weight(&st.counts, a, b))
+                    .sum();
+                prop_assert_eq!(st.sparse.group_total(g), expect, "group {}", g);
+            }
+            // Stale-high between refreshes: bounds dominate the truth...
+            prop_assert!(st.sparse.max_partner_bound >= max_partner);
+            prop_assert!(st.sparse.max_pair_scale_bound >= max_scale);
+            prop_assert!(st.sparse.drift_scale() >= max_scale.max(max_partner / 2));
+            // ...and collapse to it exactly on refresh.
+            st.refresh_sparse();
+            prop_assert_eq!(st.sparse.max_partner_bound, max_partner);
+            prop_assert_eq!(st.sparse.max_pair_scale_bound, max_scale);
+        }
     }
 }

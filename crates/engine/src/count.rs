@@ -30,8 +30,13 @@
 //!      binomial split **across the rank population** via the occupancy
 //!      tree (this is the hypergeometric-style two-population split that
 //!      lets the line/tree reset phases batch);
-//!    * **sparse pairs** — one weight-tree split over the enumerated
-//!      pairs.
+//!    * **sparse pairs** — a two-level split through the per-initiator
+//!      group hierarchy (see the sparse section of
+//!      [`classes`](crate::classes)): the batch's sparse share is first
+//!      chain-split across the occupied groups under the coordinator
+//!      stream, then each group's pair tree splits its own share as an
+//!      independent task. Draw-for-draw this equals one flat split over
+//!      all pairs, but the per-group tasks parallelise.
 //!
 //!    All `B` null gaps are accounted at once with a single
 //!    negative-binomial draw. Weights are frozen for the duration of one
@@ -39,7 +44,16 @@
 //!    than ~25% within a batch (see [`CountSimulation::advance_chain`]),
 //!    which keeps the stabilisation-time distribution statistically
 //!    indistinguishable from the exact chain (KS-tested in
-//!    `tests/cross_simulator.rs`).
+//!    `tests/cross_simulator.rs`). For the sparse class the cap is
+//!    **per-pair relative**: the batch size is bounded by the incremental
+//!    drift scales so each pair (a,b)'s expected draws stay under
+//!    `min(c_a, c_b)/8` and each state's gross sparse drain under
+//!    `c_s/4` — replacing the old class-global `2·partner-sum` rein that
+//!    was ~4× tighter and recomputed from scratch every batch. Sparse
+//!    eligibility likewise counts only *positive-weight* pairs, so a
+//!    large declared-but-dormant rule set (τ² pairs with a handful
+//!    occupied, the loose-leader-election shape) no longer forces exact
+//!    stepping.
 //!
 //! Batch mode engages whenever every positive-weight class is declared
 //! exchangeable and the safe batch size is large enough to pay for the
@@ -54,8 +68,9 @@
 //! draws one `batch_seed` from the main RNG, plans a deterministic list of
 //! *split tasks* (equal-rank subtrees, the extra–extra split, one task per
 //! cross (direction, extra-state) slice — large slices pre-partitioned
-//! down the occupancy tree — and the sparse split) using a coordinator
-//! stream derived from it, and then executes every task under its own
+//! down the occupancy tree — and one task per occupied sparse group)
+//! using a coordinator stream derived from it, and then executes every
+//! task under its own
 //! `derive_seed(batch_seed, task)`-derived stream. Results are merged in
 //! task order, so a run is **bit-identical for a fixed seed regardless of
 //! the thread count** (including one) — see
@@ -181,8 +196,8 @@ enum SplitTask {
         extra_initiates: bool,
         k: u64,
     },
-    /// The whole sparse-pair tree split (enumerated pairs are few).
-    Sparse { k: u64 },
+    /// Split `k` sparse draws within one initiator group's pair tree.
+    Sparse { group: u32, k: u64 },
 }
 
 /// Plan the deterministic split-task list for one batch: the per-class
@@ -247,7 +262,20 @@ fn plan_tasks(
         }
     }
     if k_sparse > 0 {
-        tasks.push(SplitTask::Sparse { k: k_sparse });
+        // Fan the sparse draws out across initiator groups with chained
+        // conditional binomials in ascending group order (deterministic
+        // under `coord`), one task per group that received draws — the
+        // per-group pair trees are disjoint, so the tasks are independent.
+        let sp = &state.sparse;
+        let mut groups: Vec<(u32, u64)> = Vec::new();
+        chain_split(
+            coord,
+            k_sparse,
+            sp.total(),
+            (0..sp.num_groups()).map(|g| (g as u32, sp.group_total(g))),
+            &mut groups,
+        );
+        tasks.extend(groups.iter().map(|&(group, k)| SplitTask::Sparse { group, k }));
     }
 }
 
@@ -318,9 +346,14 @@ fn run_split_task(
                 )
             }));
         }
-        SplitTask::Sparse { k } => {
-            state.sparse.split(k, rng, split);
-            out.extend(split.iter().map(|&(pi, k)| (state.schema.pairs[pi], k)));
+        SplitTask::Sparse { group, k } => {
+            let base = state.schema.group_off[group as usize] as usize;
+            state.sparse.split_group(group as usize, k, rng, split);
+            out.extend(
+                split
+                    .iter()
+                    .map(|&(pi, k)| (state.schema.pairs[base + pi], k)),
+            );
         }
     }
 }
@@ -765,31 +798,6 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         ((si, sr), (si2, sr2))
     }
 
-    /// Largest per-state drain scale of the sparse-pair class: for every
-    /// involved state, the summed occupancy of its partners across all
-    /// enumerated pairs. Bounds how fast one state's occupancy (and hence
-    /// the class's weight profile) can drift per applied step.
-    fn sparse_partner_scale(&self) -> u64 {
-        let mut max = 1u64;
-        for (s, pair_ids) in self.state.schema.pairs_by_state.iter().enumerate() {
-            if pair_ids.is_empty() {
-                continue;
-            }
-            let mut sum = 0u64;
-            for &pi in pair_ids {
-                let (a, b) = self.state.schema.pairs[pi as usize];
-                if a == b {
-                    sum += 2 * (self.state.counts[s].saturating_sub(1)) as u64;
-                } else {
-                    let partner = if a as usize == s { b } else { a };
-                    sum += self.state.counts[partner as usize] as u64;
-                }
-            }
-            max = max.max(sum);
-        }
-        max
-    }
-
     /// Drift scale and amortisation threshold of the current
     /// configuration, or `None` when some positive-weight class is not
     /// exchangeable. The safe batch size is `W / (8·scale)`: each class
@@ -839,10 +847,32 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
             }
         }
         if w_sparse > 0 {
-            scale = scale.max(2 * self.sparse_partner_scale());
-            threshold = threshold.max(schema.pairs.len() as u64);
+            // Per-pair relative caps with a per-state floor, both read
+            // off the incrementally-maintained (stale-high) sparse drift
+            // bounds: expected draws of pair (a,b) stay under
+            // min(c_a, c_b)/8, and no state's expected gross sparse
+            // consumption exceeds c_s/4 — see `SparseState::drift_scale`.
+            // The amortisation threshold charges only the pairs the split
+            // can actually visit, so large declared-but-dormant rule sets
+            // (every timer pair of loose leader election, say) no longer
+            // price batching out of reach.
+            scale = scale.max(self.state.sparse.drift_scale());
+            threshold = threshold.max(self.state.sparse.occupied_pairs());
         }
         Some((scale, threshold))
+    }
+
+    /// Re-derive every lazily-tracked drift bound that currently matters
+    /// (the equal-rank occupancy bound, the sparse partner/pair-scale
+    /// bounds) and restart the refresh interval.
+    fn refresh_drift_bounds(&mut self, weights: &[u64; 4]) {
+        if weights[0] > 0 {
+            self.state.refresh_max_eq();
+        }
+        if weights[3] > 0 {
+            self.state.refresh_sparse();
+        }
+        self.batches_since_refresh = 0;
     }
 
     /// The safe batch size for the current configuration, or `None` when
@@ -859,23 +889,22 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         if w == 0 {
             return None;
         }
-        if weights[0] > 0 && self.batches_since_refresh >= MAX_REFRESH_INTERVAL {
-            self.state.refresh_max_eq();
-            self.batches_since_refresh = 0;
+        let lazy_bounds = weights[0] > 0 || weights[3] > 0;
+        if lazy_bounds && self.batches_since_refresh >= MAX_REFRESH_INTERVAL {
+            self.refresh_drift_bounds(&weights);
         }
         let (scale, threshold) = self.batch_params(weights)?;
         let b = w / (8 * scale);
         if b >= threshold {
             return Some(b);
         }
-        // The tracked equal-rank bound only grows between refreshes, so a
-        // stale-high value could disable batching permanently. If a fresh
-        // bound could possibly change the verdict, refresh once before
-        // giving up (`batches_since_refresh > 0` caps this at one rescue
-        // scan per run of batches).
-        if weights[0] > 0 && self.batches_since_refresh > 0 && w / 8 >= threshold {
-            self.state.refresh_max_eq();
-            self.batches_since_refresh = 0;
+        // The tracked equal-rank and sparse bounds only grow between
+        // refreshes, so a stale-high value could disable batching
+        // permanently. If a fresh bound could possibly change the verdict,
+        // refresh once before giving up (`batches_since_refresh > 0` caps
+        // this at one rescue scan per run of batches).
+        if lazy_bounds && self.batches_since_refresh > 0 && w / 8 >= threshold {
+            self.refresh_drift_bounds(&weights);
             let (scale, threshold) = self.batch_params(weights)?;
             let b = w / (8 * scale);
             if b >= threshold {
@@ -1421,6 +1450,8 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
         // by `from_counts` is used instead.
         if let Some(ctl) = ctl {
             fresh.state.max_eq_bound = ctl.max_eq_count;
+            fresh.state.sparse.max_partner_bound = ctl.max_sparse_partner;
+            fresh.state.sparse.max_pair_scale_bound = ctl.max_sparse_pair_scale;
             fresh.batches_since_refresh = ctl.batches_since_refresh;
             fresh.exact_steps_until_recheck = ctl.exact_steps_until_recheck;
         }
@@ -1554,6 +1585,8 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for CountSimulation<'_
             rng: self.rng_clone(),
             count_ctl: Some(crate::engine::CountControl {
                 max_eq_count: self.state.max_eq_bound,
+                max_sparse_partner: self.state.sparse.max_partner_bound,
+                max_sparse_pair_scale: self.state.sparse.max_pair_scale_bound,
                 batches_since_refresh: self.batches_since_refresh,
                 exact_steps_until_recheck: self.exact_steps_until_recheck,
             }),
@@ -2065,5 +2098,226 @@ mod tests {
         }
         assert_eq!(count.interactions(), jump.interactions());
         assert_eq!(count.counts(), jump.counts());
+    }
+
+    /// Sparse-only annihilation: `(1,2) → (0,0)` and `(2,1) → (0,0)`.
+    /// Every draw drains both non-zero states, so the batch cap is fully
+    /// exercised; from an even split both sides hit zero together
+    /// (`c_1 − c_2` is invariant) and the run ends silent.
+    struct Annihilate {
+        n: usize,
+    }
+    impl Protocol for Annihilate {
+        fn name(&self) -> &str {
+            "annihilate"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn num_rank_states(&self) -> usize {
+            3
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            matches!((i, r), (1, 2) | (2, 1)).then_some((0, 0))
+        }
+    }
+    impl InteractionSchema for Annihilate {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::pair(1, 2), ClassSpec::pair(2, 1)]
+        }
+    }
+
+    fn annihilate_counts(n: usize) -> Vec<u32> {
+        vec![0, (n / 2) as u32, (n / 2) as u32]
+    }
+
+    #[test]
+    fn sparse_batching_engages_with_per_pair_caps() {
+        crate::protocol::validate_interaction_schema(&Annihilate { n: 8 }).unwrap();
+        let n = 4096;
+        let p = Annihilate { n };
+        let mut sim = CountSimulation::from_counts(&p, annihilate_counts(n), 21).unwrap();
+        let first = sim.advance_chain().unwrap();
+        // W = 2c², pair scale = c, partner floor = 2c/2 = c ⇒ b = c/4.
+        // The old global 2·partner-sum rein (scale 4c) allowed only c/16;
+        // anything clearly above that proves the per-pair cap is in
+        // charge.
+        let c = (n / 2) as u64;
+        assert!(
+            first >= c / 8 && first <= c / 4 + 1,
+            "first batch {first} outside the per-pair-cap regime (c = {c})"
+        );
+        while sim.advance_chain().is_some() {
+            assert_eq!(
+                sim.counts().iter().map(|&c| c as u64).sum::<u64>(),
+                n as u64
+            );
+        }
+        assert!(sim.is_silent());
+        assert_eq!(sim.counts(), &[n as u32, 0, 0]);
+    }
+
+    #[test]
+    fn sparse_batched_mean_matches_exact_chain() {
+        let n = 512;
+        let p = Annihilate { n };
+        let trials = 60u64;
+        let mean = |batching: bool| -> f64 {
+            (0..trials)
+                .map(|t| {
+                    let mut s =
+                        CountSimulation::from_counts(&p, annihilate_counts(n), 4_000 + t)
+                            .unwrap()
+                            .with_batching(batching);
+                    s.run_until_silent(u64::MAX).unwrap().interactions as f64
+                })
+                .sum::<f64>()
+                / trials as f64
+        };
+        let batched = mean(true);
+        let exact = mean(false);
+        let rel = (batched - exact).abs() / exact;
+        assert!(
+            rel < 0.1,
+            "batched mean {batched:.0} vs exact mean {exact:.0} ({rel:.3})"
+        );
+    }
+
+    #[test]
+    fn stale_sparse_bounds_cannot_disable_batching_permanently() {
+        // The sparse drift bounds are learned high at the well-mixed start
+        // and only shrink on refresh; as annihilation thins both sides,
+        // the periodic and rescue refreshes must keep batches firing until
+        // the amortisation threshold genuinely wins (c/4 < MIN_BATCH).
+        let n = 1 << 14;
+        let p = Annihilate { n };
+        let mut sim = CountSimulation::from_counts(&p, annihilate_counts(n), 3).unwrap();
+        let mut total_quanta = 0u64;
+        let mut last_batched_c = u64::MAX;
+        while let Some(applied) = sim.advance_chain() {
+            total_quanta += 1;
+            if applied > 1 {
+                // Smallest population at which a batch still fired (counts
+                // are post-batch, which only strengthens the assertion).
+                let c = sim.counts()[1].min(sim.counts()[2]) as u64;
+                last_batched_c = last_batched_c.min(c);
+            }
+            assert!(total_quanta < 100_000, "runaway annihilation run");
+        }
+        assert!(sim.is_silent());
+        // Without the sparse rescue refresh the stale initial scale
+        // (c₀ = 8192) would stop batching near c ≈ 1024; with it, batches
+        // must continue until the threshold regime (c/4 < 64 ⇒ c < 256).
+        assert!(
+            last_batched_c < 512,
+            "batches stopped early: smallest post-batch population {last_batched_c}"
+        );
+        // And the whole run must be batch-dominated: ~13 geometric-decay
+        // batches plus < 2·256 exact tail steps, far below the ~8k exact
+        // steps a stalled run would need.
+        assert!(
+            total_quanta < 2_000,
+            "sparse batching stalled: {total_quanta} quanta to silence"
+        );
+    }
+
+    /// Initiator-copies-itself-onto-responder consensus over `s` states,
+    /// declared as all `s(s−1)` ordered sparse pairs: many initiator
+    /// groups with positive weight, so the per-group sparse split tasks
+    /// genuinely fan out across pool workers.
+    struct Consensus {
+        s: usize,
+        n: usize,
+    }
+    impl Protocol for Consensus {
+        fn name(&self) -> &str {
+            "consensus"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.s
+        }
+        fn num_rank_states(&self) -> usize {
+            self.s
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            (i != r).then_some((i, i))
+        }
+    }
+    impl InteractionSchema for Consensus {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            let s = self.s as State;
+            (0..s)
+                .flat_map(|a| (0..s).filter(move |&b| b != a).map(move |b| ClassSpec::pair(a, b)))
+                .collect()
+        }
+    }
+
+    /// 1-vs-4-thread bit-identity straight through the per-group sparse
+    /// split tasks: 16 occupied initiator groups, batches big enough that
+    /// the 4-thread run demonstrably dispatches to pool workers.
+    #[test]
+    fn sparse_group_tasks_are_bit_identical_across_thread_counts() {
+        let s = 16;
+        let n = 1 << 16;
+        crate::protocol::validate_interaction_schema(&Consensus { s, n: 64 }).unwrap();
+        let p = Consensus { s, n };
+        let counts = vec![(n / s) as u32; s];
+        let run = |threads: usize| {
+            let mut sim = CountSimulation::from_counts(&p, counts.clone(), 29)
+                .unwrap()
+                .with_threads(threads);
+            let first = sim.advance_chain().unwrap();
+            assert!(
+                first >= POOL_MIN_DRAWS_PER_WORKER * threads as u64,
+                "first batch must clear the pool threshold (applied {first})"
+            );
+            for _ in 0..40 {
+                sim.advance_chain();
+            }
+            (
+                sim.interactions(),
+                sim.productive_interactions(),
+                sim.into_counts(),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4), "1 vs 4 threads through sparse group tasks");
+    }
+
+    /// Snapshot/restore round-trips the sparse drift bounds: batch-size
+    /// decisions depend on them, so a restored run only replays the
+    /// original continuation if `CountControl` carries them.
+    #[test]
+    fn sparse_snapshot_restore_replays_exactly_while_batching() {
+        use crate::engine::Engine;
+        let n = 4096;
+        let p = Annihilate { n };
+        let mut sim = CountSimulation::from_counts(&p, annihilate_counts(n), 99).unwrap();
+        for _ in 0..3 {
+            sim.advance_chain();
+        }
+        let snap = Engine::snapshot(&sim);
+        let cont: Vec<(u64, u64)> = (0..25)
+            .map(|_| {
+                sim.advance_chain();
+                (sim.interactions(), sim.productive_interactions())
+            })
+            .collect();
+        let counts_a = sim.counts().to_vec();
+        Engine::restore(&mut sim, &snap);
+        let replay: Vec<(u64, u64)> = (0..25)
+            .map(|_| {
+                sim.advance_chain();
+                (sim.interactions(), sim.productive_interactions())
+            })
+            .collect();
+        assert_eq!(cont, replay, "restored sparse run must replay the original");
+        assert_eq!(counts_a, sim.counts());
     }
 }

@@ -157,6 +157,8 @@ pub struct EngineSnapshot {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct CountControl {
     pub(crate) max_eq_count: u64,
+    pub(crate) max_sparse_partner: u64,
+    pub(crate) max_sparse_pair_scale: u64,
     pub(crate) batches_since_refresh: u32,
     pub(crate) exact_steps_until_recheck: u32,
 }

@@ -389,6 +389,130 @@ fn all_three_engines_reach_the_same_silent_support() {
     }
 }
 
+/// Spread start for the loose protocol: followers laid out round-robin
+/// over all τ + 1 timer values, no leader — the regime where almost all
+/// productive weight sits in the enumerated sparse pairs.
+fn loose_spread_start(p: &LooseLeaderElection, n: usize) -> Vec<State> {
+    let timers = p.timer_max() + 1;
+    (0..n).map(|i| p.follower_state(i as u32 % timers)).collect()
+}
+
+/// Followers round-robin over the `width` timer values starting at `lo`,
+/// no leader. A *narrow* band of occupied timers is the loose protocol's
+/// natural operating regime (a leader keeps refreshing timers to τ, so
+/// occupancy concentrates near the top); it keeps the occupied-pair count
+/// far below the batch size, which is what lets sparse batches fire.
+fn loose_band_start(p: &LooseLeaderElection, n: usize, lo: u32, width: u32) -> Vec<State> {
+    (0..n)
+        .map(|i| p.follower_state(lo + i as u32 % width))
+        .collect()
+}
+
+/// With batching off, the count engine walks the jump engine's chain on
+/// the loose protocol too: the exact sampler is draw-for-draw shared even
+/// when nearly all the productive weight lives in the sparse-pair class
+/// (loose protocols are never silent, so this compares fixed-length
+/// prefixes instead of full runs).
+#[test]
+fn count_and_jump_are_trace_identical_on_loose() {
+    let n = 512;
+    let p = LooseLeaderElection::new(n);
+    for seed in [3u64, 5151] {
+        let cfg = loose_spread_start(&p, n);
+        let mut jump = JumpSimulation::new(&p, cfg.clone(), seed).unwrap();
+        let mut count = CountSimulation::new(&p, cfg, seed)
+            .unwrap()
+            .with_batching(false);
+        for _ in 0..20_000 {
+            jump.step_productive();
+            count.advance_chain();
+        }
+        assert_eq!(jump.interactions(), count.interactions(), "seed {seed}");
+        assert_eq!(jump.counts(), count.counts(), "seed {seed}");
+    }
+}
+
+/// KS test of the batched count engine against the exact jump chain on
+/// the loose protocol, at an `n` where the pre-hierarchy engine fell back
+/// to exact stepping (the flat `2·partner-sum` rein allowed only
+/// ~7n/256 ≈ 56 < MIN_BATCH draws, and the declared-pair threshold asked
+/// for ~τ² ≈ 9k) but the per-pair caps and occupied-pair threshold now
+/// batch. Statistic: the interaction clock when the first leader rises
+/// from a leaderless band start — the whole drain-to-timeout phase runs
+/// on sparse-pair weight between the occupied timer cohorts.
+#[test]
+fn loose_count_vs_jump_ks_test_on_sparse_batches() {
+    use ssr::analysis::ks::ks_two_sample;
+    let n = 2048;
+    let p = LooseLeaderElection::new(n);
+    let trials = 80u64;
+    let budget = (n as u64) * (n as u64);
+    let jump_sample: Vec<f64> = (0..trials)
+        .map(|t| {
+            let mut s =
+                JumpSimulation::new(&p, loose_band_start(&p, n, 1, 8), 140_000 + t).unwrap();
+            while p.leader_count(s.counts()) == 0 {
+                s.step_productive();
+                assert!(s.interactions() < budget, "no leader within budget");
+            }
+            s.interactions() as f64
+        })
+        .collect();
+    let count_sample: Vec<f64> = (0..trials)
+        .map(|t| {
+            let mut s =
+                CountSimulation::new(&p, loose_band_start(&p, n, 1, 8), 150_000 + t).unwrap();
+            let mut max_quantum = 0u64;
+            while p.leader_count(s.counts()) == 0 {
+                max_quantum = max_quantum.max(s.advance_chain().unwrap());
+                assert!(s.interactions() < budget, "no leader within budget");
+            }
+            assert!(
+                max_quantum > 1,
+                "count engine never batched the sparse pre-leader phase"
+            );
+            s.interactions() as f64
+        })
+        .collect();
+    let r = ks_two_sample(&jump_sample, &count_sample);
+    assert!(
+        r.p_value > 0.01,
+        "KS rejected jump vs count on loose: D = {:.4}, p = {:.5}",
+        r.statistic,
+        r.p_value
+    );
+}
+
+/// 1-vs-4-thread bit-identity on the loose protocol at n = 65536: the
+/// per-group sparse split tasks must merge into the identical trajectory
+/// whether they run on the coordinator or fan out across the pool.
+#[test]
+fn loose_thread_counts_produce_identical_trajectories() {
+    let n = 1 << 16;
+    let p = LooseLeaderElection::new(n);
+    let tau = p.timer_max();
+    let run = |threads: usize| {
+        let mut s = CountSimulation::new(&p, loose_band_start(&p, n, tau - 7, 8), 77)
+            .unwrap()
+            .with_threads(threads);
+        let mut max_quantum = 0u64;
+        for _ in 0..40 {
+            max_quantum = max_quantum.max(s.advance_chain().unwrap());
+        }
+        assert!(
+            max_quantum >= 4096,
+            "run never reached the parallel batch threshold (max quantum {max_quantum})"
+        );
+        (
+            s.interactions(),
+            s.productive_interactions(),
+            s.into_counts(),
+        )
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4), "1 vs 4 threads on loose sparse batches");
+}
+
 #[test]
 fn jump_simulator_skips_but_never_undercounts() {
     // The jump interaction count must stochastically dominate the number
