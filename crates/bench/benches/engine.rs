@@ -351,6 +351,70 @@ fn bench_tree_geometry(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_service(c: &mut Criterion) {
+    use ssr_engine::engine::EngineSnapshot;
+    use ssr_engine::wire::SnapshotShape;
+    use ssr_service::{
+        CheckpointStore, JobInit, JobResult, JobSpec, JobStatusKind, ResultCache,
+    };
+
+    let dir = std::env::temp_dir().join(format!("ssr-bench-service-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    // Serving a re-submitted job from the result cache: key derivation
+    // (schema hash + spec fingerprint) plus lookup and decode — the full
+    // cost of a hit short of the spool's queue-file renames. Key
+    // derivation dominates: the schema hash walks the protocol's
+    // equal-rank diagonal once.
+    let cache = ResultCache::open(&dir).unwrap();
+    let mut spec = JobSpec::new("tree", 65_536, 7);
+    spec.init = JobInit::Stacked;
+    cache
+        .put(
+            spec.key().unwrap(),
+            &JobResult {
+                status: JobStatusKind::Silent,
+                interactions: 1 << 32,
+                interactions_wide: 1 << 32,
+                productive: 1 << 20,
+                parallel_time: 65_536.0,
+                outcome: None,
+            },
+        )
+        .unwrap();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(cache.get(spec.key().unwrap()).unwrap()))
+    });
+
+    // One durable checkpoint cycle at n = 2²⁰ on the count engine:
+    // snapshot → versioned wire encode → atomic store write → read back →
+    // decode (checksum + shape checks) → restore. This is the per-cadence
+    // overhead a checkpointed daemon job pays over a plain run.
+    let n = 1 << 20;
+    let p = TreeRanking::new(n);
+    let shape = SnapshotShape::of(&p);
+    let mut engine = make_engine(EngineKind::Count, &p, vec![0; n], 9).unwrap();
+    for _ in 0..32 {
+        engine.advance();
+    }
+    let store = CheckpointStore::open(dir.join("ckpt")).unwrap();
+    let key = spec.key().unwrap();
+    group.bench_function("checkpoint_roundtrip_n1048576", |b| {
+        b.iter(|| {
+            let blob = engine.snapshot().to_wire(shape);
+            store.save(key, engine.interactions_wide(), &blob).unwrap();
+            let (_, back) = store.latest(key).unwrap();
+            let snapshot = EngineSnapshot::from_wire(&back, shape).unwrap();
+            engine.restore(&snapshot);
+            black_box(blob.len())
+        })
+    });
+    group.finish();
+}
+
 fn bench_construction(c: &mut Criterion) {
     c.bench_function("balanced_tree_n65536", |b| {
         b.iter(|| black_box(BalancedTree::new(65536)))
@@ -371,6 +435,7 @@ criterion_group!(
     bench_count_batching,
     bench_primitives,
     bench_tree_geometry,
+    bench_service,
     bench_construction
 );
 criterion_main!(benches);

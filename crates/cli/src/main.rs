@@ -10,6 +10,9 @@
 //! ssr check  --protocol ring --n 6 [--limit 3000000]
 //! ssr faults --protocol ring --n 100 --faults 8 [--trials 10]
 //! ssr info   --protocol tree --n 1000
+//! ssr serve  --dir SPOOL [--cores N] [--checkpoint-every K] [--drain true]
+//! ssr submit --dir SPOOL --protocol tree --n 65536 [--seed 7] [--wait true]
+//! ssr status --dir SPOOL [--key HEX]
 //! ssr help
 //! ```
 
@@ -25,6 +28,7 @@ use ssr_engine::{
     run_with_plan, EngineKind, FaultPlan, Init, InteractionSchema, JumpSimulation, Protocol,
     Scenario, State,
 };
+use ssr_service::{daemon, Daemon, DaemonConfig, JobInit, JobKey, JobSpec};
 
 /// The four ranking protocols behind one object-safe schema handle.
 fn make_protocol(kind: &str, n: usize) -> Result<Box<dyn InteractionSchema + Sync>, String> {
@@ -365,6 +369,154 @@ fn cmd_info(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Assemble a service [`JobSpec`] from the `submit` command's flags (the
+/// same protocol/start/engine/fault vocabulary as `run`).
+fn parse_job_spec(a: &Args) -> Result<JobSpec, String> {
+    let n = a.usize_or("n", 100)?;
+    let mut spec = JobSpec::new(&a.str_or("protocol", "tree"), n, a.u64_or("seed", 1)?);
+    spec.engine = engine_kind(a)?;
+    spec.max_interactions = a.u64_or("max", u64::MAX)?;
+    spec.threads = a.usize_or("threads", 0)?;
+    spec.init = match a.str_or("start", "uniform").as_str() {
+        "uniform" => JobInit::Uniform,
+        "stacked" => JobInit::Stacked,
+        "perfect" => JobInit::Perfect,
+        "k-distant" => JobInit::KDistant(a.usize_or("k", 1)?),
+        other => {
+            return Err(format!(
+                "unknown start '{other}' (expected uniform|stacked|perfect|k-distant)"
+            ))
+        }
+    };
+    if let Some(plan) = parse_fault_plan(a)? {
+        spec.bursts = plan.bursts().to_vec();
+        spec.fault_rate = plan.fault_rate();
+        spec.churn = plan.churn_rate();
+        spec.byzantine = plan.byzantine_agents();
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+fn spool_dir(a: &Args) -> Result<std::path::PathBuf, String> {
+    if !a.has("dir") {
+        return Err("--dir <spool directory> is required".to_string());
+    }
+    Ok(std::path::PathBuf::from(a.str_or("dir", "")))
+}
+
+fn cmd_serve(a: &Args) -> Result<(), String> {
+    let mut cfg = DaemonConfig::new(spool_dir(a)?);
+    cfg.cores = a.usize_or("cores", 0)?;
+    cfg.checkpoint_every = a.u64_or("checkpoint-every", 1 << 22)? as u128;
+    cfg.poll_ms = a.u64_or("poll-ms", 20)?;
+    cfg.drain = a.str_or("drain", "false") == "true";
+    cfg.max_jobs = match a.usize_or("max-jobs", 0)? {
+        0 => None,
+        m => Some(m),
+    };
+    cfg.kill_after_checkpoints = match a.usize_or("kill-after-ckpts", 0)? {
+        0 => None,
+        k => Some(k as u32),
+    };
+    let dir = cfg.dir.display().to_string();
+    let mut daemon = Daemon::new(cfg).map_err(|e| e.to_string())?;
+    println!("serving jobs from {dir} (ctrl-c to stop)");
+    let stats = daemon.run().map_err(|e| e.to_string())?;
+    println!(
+        "daemon done: {} completed ({} cache hits, {} resumed), {} failed, \
+         {} interrupted, {} recovered at startup",
+        stats.completed,
+        stats.cache_hits,
+        stats.resumed,
+        stats.failed,
+        stats.interrupted,
+        stats.recovered
+    );
+    Ok(())
+}
+
+fn cmd_submit(a: &Args) -> Result<(), String> {
+    let dir = spool_dir(a)?;
+    let spec = parse_job_spec(a)?;
+    let key = ssr_service::submit_job(&dir, &spec).map_err(|e| e.to_string())?;
+    println!("submitted {key}");
+    if a.str_or("wait", "false") == "true" {
+        loop {
+            match daemon::job_status(&dir, key) {
+                daemon::JobStatus::Done { source } => {
+                    let result = daemon::job_result(&dir, key)
+                        .ok_or("done marker exists but the result is unreadable")?;
+                    print_job_result(key, &source, &result);
+                    return Ok(());
+                }
+                daemon::JobStatus::Failed => {
+                    return Err(format!("job {key} failed (see failed/{key}.err)"));
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(50)),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_job_result(key: JobKey, source: &str, r: &ssr_service::JobResult) {
+    let status = match r.status {
+        ssr_service::JobStatusKind::Silent => "silent",
+        ssr_service::JobStatusKind::Timeout => "timeout",
+    };
+    println!(
+        "{key}: {status} after {} interactions (parallel time {:.1}), \
+         {} productive [{source}]",
+        r.interactions_wide, r.parallel_time, r.productive
+    );
+    if let Some(o) = &r.outcome {
+        println!(
+            "  adversary: availability {:.4}, mean k {:.2}, max k {}, \
+             {} faults, {} churn events, {} bursts",
+            o.availability,
+            o.mean_k,
+            o.max_k,
+            o.faults_injected,
+            o.churn_events,
+            o.bursts.len()
+        );
+    }
+}
+
+fn cmd_status(a: &Args) -> Result<(), String> {
+    let dir = spool_dir(a)?;
+    if a.has("key") {
+        let key = JobKey::from_hex(&a.str_or("key", ""))
+            .ok_or("--key expects the 32-hex-digit job key")?;
+        match daemon::job_status(&dir, key) {
+            daemon::JobStatus::Done { source } => {
+                let result = daemon::job_result(&dir, key)
+                    .ok_or("done marker exists but the result is unreadable")?;
+                print_job_result(key, &source, &result);
+            }
+            state => println!("{key}: {state:?}"),
+        }
+        return Ok(());
+    }
+    let count = |sub: &str, ext: &str| -> usize {
+        std::fs::read_dir(dir.join(sub)).map_or(0, |d| {
+            d.flatten()
+                .filter(|e| e.path().extension().is_some_and(|x| x == ext))
+                .count()
+        })
+    };
+    println!(
+        "{}: {} pending, {} running, {} done, {} failed",
+        dir.display(),
+        count("pending", "job"),
+        count("running", "job"),
+        count("done", "result"),
+        count("failed", "err"),
+    );
+    Ok(())
+}
+
 fn help() {
     println!(
         "ssr — self-stabilising ranking & leader election (PODC 2025 reproduction)
@@ -405,6 +557,27 @@ commands:
   faults --protocol P --n N --faults F [--trials T] [--seed S]
                                                corrupt-and-recover report
   info   --protocol P --n N                    state-space summary
+  serve  --dir SPOOL [--cores N] [--checkpoint-every K] [--poll-ms P]
+         [--drain true] [--max-jobs J] [--kill-after-ckpts X]
+                                               run the job daemon over a spool
+                                               directory: schedules submitted
+                                               jobs across N cores (admission
+                                               via the engine's thread-split
+                                               policy), checkpoints every K
+                                               interactions so killed jobs
+                                               resume bit-identically, and
+                                               serves repeated jobs from a
+                                               keyed result cache; --drain
+                                               exits once the queue is empty
+  submit --dir SPOOL <run flags: --protocol --n --start --k --seed --max
+         --engine --threads --fault-burst --fault-rate --churn --byzantine>
+         [--wait true]
+                                               queue one job (prints its
+                                               content key); --wait blocks
+                                               until a daemon completes it
+                                               and prints the result
+  status --dir SPOOL [--key HEX]               spool totals, or one job's
+                                               state/result
   help                                         this text"
     );
 }
@@ -423,6 +596,9 @@ fn main() {
         "check" => cmd_check(&a),
         "faults" => cmd_faults(&a),
         "info" => cmd_info(&a),
+        "serve" => cmd_serve(&a),
+        "submit" => cmd_submit(&a),
+        "status" => cmd_status(&a),
         "help" | "--help" => {
             help();
             Ok(())
@@ -529,6 +705,27 @@ mod tests {
                 assert!(e.is_silent(), "{proto}/{kind}");
             }
         }
+    }
+
+    #[test]
+    fn submit_flags_assemble_a_job_spec() {
+        let args = |v: &[&str]| Args::parse(v.iter().map(|s| s.to_string())).unwrap();
+        let a = args(&[
+            "submit", "--protocol", "tree", "--n", "4096", "--seed", "9", "--start",
+            "k-distant", "--k", "3", "--engine", "count", "--threads", "2", "--max",
+            "1000000", "--fault-burst", "100:4",
+        ]);
+        let spec = parse_job_spec(&a).unwrap();
+        assert_eq!(spec.protocol, "tree");
+        assert_eq!(spec.n, 4096);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.init, JobInit::KDistant(3));
+        assert_eq!(spec.engine, EngineKind::Count);
+        assert_eq!(spec.threads, 2);
+        assert_eq!(spec.bursts, vec![(100, 4)]);
+        // Invalid combinations are rejected at parse time.
+        assert!(parse_job_spec(&args(&["submit", "--protocol", "warp"])).is_err());
+        assert!(parse_job_spec(&args(&["submit", "--churn", "0.1"])).is_err());
     }
 
     #[test]

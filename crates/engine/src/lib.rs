@@ -131,6 +131,7 @@ pub mod rng;
 pub mod runner;
 pub mod schedule;
 pub mod sim;
+pub mod wire;
 
 pub use count::CountSimulation;
 pub use engine::{
@@ -151,3 +152,4 @@ pub use protocol::{
 pub use runner::{run_trials, Init, Scenario, TrialConfig, TrialResults};
 pub use schedule::{ClusteredScheduler, Scheduler, UniformScheduler, ZipfScheduler};
 pub use sim::{Simulation, StabilisationReport};
+pub use wire::{SnapshotDecodeError, SnapshotShape, SNAPSHOT_WIRE_VERSION};

@@ -289,6 +289,102 @@ pub trait InteractionSchema: Protocol {
         debug_assert!(self.is_rank_state(s));
         self.transition(s, s).is_some()
     }
+
+    /// Stable 64-bit fingerprint of the protocol's interaction structure:
+    /// the state-space shape (`population_size`, `num_states`,
+    /// `num_rank_states`), the **set** of declared classes, the exact
+    /// rewrites of every declared enumerated `Pair`, and — when `EqualRank`
+    /// is declared — the equal-rank rewrite of every rank state.
+    ///
+    /// The hash is a pure function of those values: it is identical across
+    /// recompiles, runs, and processes, and **order-independent over the
+    /// declared classes** (per-class fingerprints are sorted before
+    /// mixing), so refactoring the order of
+    /// [`interaction_classes`](Self::interaction_classes) does not change
+    /// it. Protocols with different rule structure, shape, equal-rank
+    /// rewrites, or pair rewrites hash differently (modulo 64-bit
+    /// collisions) — the equal-rank diagonal is hashed rewrite-by-rewrite
+    /// precisely because the state-optimal protocols (generic, ring, line)
+    /// share shape and class structure and differ *only* there. Rewrites of
+    /// the broad cross classes (`ExtraExtra`/`RankExtra`) are not probed —
+    /// that would cost `O(num_states²)`; protocols differing only there
+    /// must also differ in shape or declared classes in practice. This is
+    /// the cache-key primitive of the simulation service: a result memoised
+    /// under one schema hash is never served to a protocol whose rules
+    /// differ.
+    ///
+    /// Cost is `O(classes + num_rank_states)` when `EqualRank` is declared
+    /// (one `transition` probe per rank state), `O(classes)` otherwise. Do
+    /// not override — downstream stores key on the default derivation.
+    fn schema_hash(&self) -> u64 {
+        /// FNV-1a over a stream of `u64` words, one byte at a time so the
+        /// result is independent of host endianness.
+        fn mix(h: &mut u64, word: u64) {
+            for b in word.to_le_bytes() {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        mix(&mut h, self.population_size() as u64);
+        mix(&mut h, self.num_states() as u64);
+        mix(&mut h, self.num_rank_states() as u64);
+        // Per-class fingerprints, sorted: the declaration is a set.
+        let classes = self.interaction_classes();
+        let mut codes: Vec<u64> = classes
+            .iter()
+            .map(|spec| {
+                let exch = spec.exchangeable as u64;
+                match spec.class {
+                    InteractionClass::EqualRank => 1 | exch << 8,
+                    InteractionClass::ExtraExtra => 2 | exch << 8,
+                    InteractionClass::RankExtra(CrossDirection::RankInitiator) => 3 | exch << 8,
+                    InteractionClass::RankExtra(CrossDirection::ExtraInitiator) => 4 | exch << 8,
+                    InteractionClass::RankExtra(CrossDirection::Both) => 5 | exch << 8,
+                    InteractionClass::Pair {
+                        initiator,
+                        responder,
+                    } => {
+                        // A sub-hash keeps the code to one sortable word;
+                        // the rewrite is part of the rule, so it is hashed
+                        // along with the pair.
+                        let mut ph: u64 = 0xCBF2_9CE4_8422_2325;
+                        mix(&mut ph, 6 | exch << 8);
+                        mix(&mut ph, initiator as u64);
+                        mix(&mut ph, responder as u64);
+                        if let Some((i2, r2)) = self.transition(initiator, responder) {
+                            mix(&mut ph, 1 + i2 as u64);
+                            mix(&mut ph, 1 + r2 as u64);
+                        }
+                        ph | 1 << 63
+                    }
+                }
+            })
+            .collect();
+        let eq_declared = classes
+            .iter()
+            .any(|s| s.class == InteractionClass::EqualRank);
+        codes.sort_unstable();
+        mix(&mut h, codes.len() as u64);
+        for code in codes {
+            mix(&mut h, code);
+        }
+        if eq_declared {
+            // The equal-rank diagonal, rewrite by rewrite: which rank
+            // states fire AND what they rewrite to. The state-optimal
+            // protocols share shape and classes and differ only here.
+            for s in 0..self.num_rank_states() {
+                match self.transition(s as State, s as State) {
+                    Some((i2, r2)) => {
+                        mix(&mut h, 1 + i2 as u64);
+                        mix(&mut h, 1 + r2 as u64);
+                    }
+                    None => mix(&mut h, 0),
+                }
+            }
+        }
+        h
+    }
 }
 
 /// Number of classes in `classes` covering the ordered state pair
@@ -602,5 +698,150 @@ mod tests {
         let spec = ClassSpec::extra_extra().non_exchangeable();
         assert!(!spec.exchangeable);
         assert!(ClassSpec::pair(3, 4).exchangeable);
+    }
+
+    /// A configurable protocol for schema-hash tests: the declared class
+    /// list is injected, so declaration order and content vary freely.
+    struct Declared {
+        n: usize,
+        classes: Vec<ClassSpec>,
+    }
+    impl Protocol for Declared {
+        fn name(&self) -> &str {
+            "declared"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.n + 2
+        }
+        fn num_rank_states(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            // Equal-rank rule only at even rank states; the hash must pick
+            // this membership up through `equal_rank_rule`.
+            (i == r && (i as usize) < self.n && i.is_multiple_of(2)).then_some((i, i + 1))
+        }
+    }
+    impl InteractionSchema for Declared {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            self.classes.clone()
+        }
+    }
+
+    #[test]
+    fn schema_hash_is_stable_across_recompiles() {
+        // Two independently constructed instances (separate allocations,
+        // separate compiled schemas) hash identically.
+        let a = Declared {
+            n: 10,
+            classes: vec![ClassSpec::equal_rank(), ClassSpec::extra_extra()],
+        };
+        let b = Declared {
+            n: 10,
+            classes: vec![ClassSpec::equal_rank(), ClassSpec::extra_extra()],
+        };
+        assert_eq!(a.schema_hash(), b.schema_hash());
+        assert_eq!(a.schema_hash(), a.schema_hash());
+    }
+
+    #[test]
+    fn schema_hash_is_order_independent_over_declared_classes() {
+        let fwd = Declared {
+            n: 8,
+            classes: vec![
+                ClassSpec::equal_rank(),
+                ClassSpec::extra_extra(),
+                ClassSpec::pair(1, 3),
+                ClassSpec::pair(3, 1),
+            ],
+        };
+        let rev = Declared {
+            n: 8,
+            classes: vec![
+                ClassSpec::pair(3, 1),
+                ClassSpec::pair(1, 3),
+                ClassSpec::extra_extra(),
+                ClassSpec::equal_rank(),
+            ],
+        };
+        assert_eq!(fwd.schema_hash(), rev.schema_hash());
+    }
+
+    #[test]
+    fn schema_hash_distinguishes_structure() {
+        let base = Declared {
+            n: 8,
+            classes: vec![ClassSpec::equal_rank()],
+        };
+        // Different class set.
+        let more = Declared {
+            n: 8,
+            classes: vec![ClassSpec::equal_rank(), ClassSpec::extra_extra()],
+        };
+        // Different shape, same classes.
+        let bigger = Declared {
+            n: 9,
+            classes: vec![ClassSpec::equal_rank()],
+        };
+        // Swapped pair orientation is a different rule set.
+        let ab = Declared {
+            n: 8,
+            classes: vec![ClassSpec::pair(1, 3)],
+        };
+        let ba = Declared {
+            n: 8,
+            classes: vec![ClassSpec::pair(3, 1)],
+        };
+        // Exchangeability is part of the batching contract.
+        let non_exch = Declared {
+            n: 8,
+            classes: vec![ClassSpec::equal_rank().non_exchangeable()],
+        };
+        let h = base.schema_hash();
+        assert_ne!(h, more.schema_hash());
+        assert_ne!(h, bigger.schema_hash());
+        assert_ne!(h, non_exch.schema_hash());
+        assert_ne!(ab.schema_hash(), ba.schema_hash());
+    }
+
+    /// Same shape and class list as `Declared`, different equal-rank rule
+    /// membership (odd instead of even states).
+    struct DeclaredOdd {
+        n: usize,
+    }
+    impl Protocol for DeclaredOdd {
+        fn name(&self) -> &str {
+            "declared-odd"
+        }
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn num_states(&self) -> usize {
+            self.n + 2
+        }
+        fn num_rank_states(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, i: State, r: State) -> Option<(State, State)> {
+            (i == r && (i as usize) < self.n && i % 2 == 1).then(|| (i, i - 1))
+        }
+    }
+    impl InteractionSchema for DeclaredOdd {
+        fn interaction_classes(&self) -> Vec<ClassSpec> {
+            vec![ClassSpec::equal_rank()]
+        }
+    }
+
+    #[test]
+    fn schema_hash_sees_equal_rank_membership() {
+        let even = Declared {
+            n: 8,
+            classes: vec![ClassSpec::equal_rank()],
+        };
+        let odd = DeclaredOdd { n: 8 };
+        assert_ne!(even.schema_hash(), odd.schema_hash());
     }
 }

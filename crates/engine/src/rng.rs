@@ -92,6 +92,26 @@ impl Xoshiro256 {
         Xoshiro256 { s }
     }
 
+    /// The raw 256-bit generator state, for snapshot wire serialisation
+    /// ([`crate::wire`]). Restoring via [`from_state`](Self::from_state)
+    /// continues the stream exactly.
+    pub(crate) fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a previously captured
+    /// [`state`](Self::state). The all-zero state is a fixed point of the
+    /// transition and cannot be produced by a live generator; map it to
+    /// the seed-0 guard state rather than propagating a stuck stream.
+    pub(crate) fn from_state(s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            return Xoshiro256 {
+                s: [0x9E37_79B9_7F4A_7C15, 0, 0, 0],
+            };
+        }
+        Xoshiro256 { s }
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

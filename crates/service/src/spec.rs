@@ -1,0 +1,710 @@
+//! Job specs, the stable content key, and the result codec.
+//!
+//! Both codecs are versioned line-oriented text (`key value` pairs) so
+//! spool files are inspectable with a pager and diffable in experiments.
+//! Floating-point fields round-trip exactly: encoding uses Rust's
+//! shortest-roundtrip `Display`, and the result codec additionally carries
+//! bit patterns so a decoded [`JobResult`] is *bit-identical* to the one
+//! encoded — the property the kill/resume acceptance test asserts.
+
+use crate::ServiceError;
+use ssr_core::{GenericRanking, LineOfTraps, RingOfTraps, TreeRanking};
+use ssr_engine::{EngineKind, FaultPlan, Init, InteractionSchema};
+use std::fmt;
+
+/// Codec version tag of the job-spec text format.
+pub const JOB_SPEC_VERSION: &str = "ssr-job v1";
+/// Codec version tag of the result text format.
+pub const JOB_RESULT_VERSION: &str = "ssr-result v1";
+
+/// Initial-configuration family of a job — the closed (serialisable)
+/// subset of [`ssr_engine::Init`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobInit {
+    /// Everyone stacked in state 0.
+    Stacked,
+    /// Everyone in the given state.
+    AllIn(u32),
+    /// Uniformly random over the full state space.
+    Uniform,
+    /// The silent perfect ranking.
+    Perfect,
+    /// Ranking distance exactly `k`.
+    KDistant(usize),
+}
+
+impl JobInit {
+    fn code(self) -> u64 {
+        match self {
+            JobInit::Stacked => 1,
+            JobInit::AllIn(s) => 2 | (s as u64) << 8,
+            JobInit::Uniform => 3,
+            JobInit::Perfect => 4,
+            JobInit::KDistant(k) => 5 | (k as u64) << 8,
+        }
+    }
+
+    /// The engine-side init family this job init denotes.
+    pub fn to_init(self) -> Init<'static> {
+        match self {
+            JobInit::Stacked => Init::Stacked,
+            JobInit::AllIn(s) => Init::AllIn(s),
+            JobInit::Uniform => Init::Uniform,
+            JobInit::Perfect => Init::Perfect,
+            JobInit::KDistant(k) => Init::KDistant(k),
+        }
+    }
+}
+
+impl fmt::Display for JobInit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobInit::Stacked => write!(f, "stacked"),
+            JobInit::AllIn(s) => write!(f, "all-in {s}"),
+            JobInit::Uniform => write!(f, "uniform"),
+            JobInit::Perfect => write!(f, "perfect"),
+            JobInit::KDistant(k) => write!(f, "k-distant {k}"),
+        }
+    }
+}
+
+/// One scenario job: everything needed to reproduce a single run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Protocol name: `generic`, `ring`, `line`, or `tree` (`ag` is
+    /// accepted on input and canonicalised to `generic`).
+    pub protocol: String,
+    /// Population size.
+    pub n: usize,
+    /// Initial-configuration family.
+    pub init: JobInit,
+    /// Engine selection; `Auto` is canonicalised per `n` in the key.
+    pub engine: EngineKind,
+    /// Base seed (configuration, simulation, and fault streams derive
+    /// from it exactly as in [`ssr_engine::Scenario`]).
+    pub seed: u64,
+    /// Interaction budget (`u64::MAX` = unbounded).
+    pub max_interactions: u64,
+    /// Requested core budget; 0 = daemon default. **Not** part of the
+    /// content key — trajectories are bit-identical at any thread count.
+    pub threads: usize,
+    /// One-shot fault bursts `(clock time, faults)`.
+    pub bursts: Vec<(u128, u32)>,
+    /// Background corruption probability per interaction.
+    pub fault_rate: f64,
+    /// Replacement-churn probability per interaction.
+    pub churn: f64,
+    /// Persistent Byzantine (stuck-at) agents.
+    pub byzantine: u32,
+}
+
+impl JobSpec {
+    /// A fault-free job with the runner defaults: auto engine, uniform
+    /// start, unbounded budget, daemon-default threads.
+    pub fn new(protocol: &str, n: usize, seed: u64) -> Self {
+        JobSpec {
+            protocol: canonical_protocol(protocol).unwrap_or(protocol).to_string(),
+            n,
+            init: JobInit::Uniform,
+            engine: EngineKind::Auto,
+            seed,
+            max_interactions: u64::MAX,
+            threads: 0,
+            bursts: Vec::new(),
+            fault_rate: 0.0,
+            churn: 0.0,
+            byzantine: 0,
+        }
+    }
+
+    /// Build the job's protocol instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Spec`] for unknown protocol names.
+    pub fn make_protocol(&self) -> Result<Box<dyn InteractionSchema + Sync>, ServiceError> {
+        match canonical_protocol(&self.protocol) {
+            Some("generic") => Ok(Box::new(GenericRanking::new(self.n))),
+            Some("ring") => Ok(Box::new(RingOfTraps::new(self.n))),
+            Some("line") => Ok(Box::new(LineOfTraps::new(self.n))),
+            Some("tree") => Ok(Box::new(TreeRanking::new(self.n))),
+            _ => Err(ServiceError::Spec(format!(
+                "unknown protocol '{}' (expected generic|ring|line|tree)",
+                self.protocol
+            ))),
+        }
+    }
+
+    /// Assemble the job's adversary flags into a [`FaultPlan`]; `None`
+    /// for fault-free jobs.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        let mut plan = FaultPlan::new();
+        let mut any = false;
+        for &(t, f) in &self.bursts {
+            plan = plan.burst_at(t, f);
+            any = true;
+        }
+        if self.fault_rate > 0.0 {
+            plan = plan.rate(self.fault_rate);
+            any = true;
+        }
+        if self.churn > 0.0 {
+            plan = plan.churn(self.churn);
+            any = true;
+        }
+        if self.byzantine > 0 {
+            plan = plan.byzantine(self.byzantine);
+            any = true;
+        }
+        any.then_some(plan)
+    }
+
+    /// Check the spec is well-formed and executable (protocol known, fault
+    /// probabilities in range, persistent fault processes bounded by a
+    /// finite budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Spec`] describing the first violation.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        canonical_protocol(&self.protocol).ok_or_else(|| {
+            ServiceError::Spec(format!(
+                "unknown protocol '{}' (expected generic|ring|line|tree)",
+                self.protocol
+            ))
+        })?;
+        if self.n == 0 {
+            return Err(ServiceError::Spec("population must be positive".into()));
+        }
+        for rate in [self.fault_rate, self.churn] {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(ServiceError::Spec(format!(
+                    "fault/churn rates must be probabilities, got {rate}"
+                )));
+            }
+        }
+        if let JobInit::KDistant(k) = self.init {
+            if k >= self.n {
+                return Err(ServiceError::Spec(format!(
+                    "k-distant start needs k < n (k = {k}, n = {})",
+                    self.n
+                )));
+            }
+        }
+        if let Some(plan) = self.fault_plan() {
+            if plan.may_never_silence() && self.max_interactions == u64::MAX {
+                return Err(ServiceError::Spec(
+                    "persistent fault process (rate/churn/byzantine) needs a finite budget"
+                        .into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The stable 128-bit content key of this job.
+    ///
+    /// Covers the protocol's
+    /// [`schema_hash`](InteractionSchema::schema_hash) (so a cached result
+    /// is never served across rule changes), the canonical protocol name,
+    /// `n`, init, the engine kind **with `Auto` resolved against `n`** (an
+    /// `auto` job and an explicit `count` job at `n ≥ 4096` are the same
+    /// run), seed, budget, and the full fault plan. Excludes `threads`:
+    /// trajectories are bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Spec`] when the protocol is unknown.
+    pub fn key(&self) -> Result<JobKey, ServiceError> {
+        let protocol = self.make_protocol()?;
+        let mut lo = Fnv::new(0xCBF2_9CE4_8422_2325);
+        let mut hi = Fnv::new(0x6C62_272E_07BB_0142); // independent basis
+        for h in [&mut lo, &mut hi] {
+            h.word(1); // key-derivation version
+            h.word(protocol.schema_hash());
+            h.bytes(canonical_protocol(&self.protocol).unwrap().as_bytes());
+            h.word(self.n as u64);
+            h.word(self.init.code());
+            h.word(self.engine.resolve(self.n) as u64);
+            h.word(self.seed);
+            h.word(self.max_interactions);
+            h.word(self.bursts.len() as u64);
+            for &(t, f) in &self.bursts {
+                h.word(t as u64);
+                h.word((t >> 64) as u64);
+                h.word(f as u64);
+            }
+            h.word(self.fault_rate.to_bits());
+            h.word(self.churn.to_bits());
+            h.word(self.byzantine as u64);
+        }
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&lo.finish().to_le_bytes());
+        key[8..].copy_from_slice(&hi.finish().to_le_bytes());
+        Ok(JobKey(key))
+    }
+
+    /// Encode as versioned spec text (the spool-file format).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(JOB_SPEC_VERSION);
+        out.push('\n');
+        out.push_str(&format!("protocol {}\n", self.protocol));
+        out.push_str(&format!("n {}\n", self.n));
+        out.push_str(&format!("init {}\n", self.init));
+        out.push_str(&format!("engine {}\n", self.engine.name()));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("max {}\n", self.max_interactions));
+        out.push_str(&format!("threads {}\n", self.threads));
+        for &(t, f) in &self.bursts {
+            out.push_str(&format!("burst {t}:{f}\n"));
+        }
+        if self.fault_rate > 0.0 {
+            out.push_str(&format!("fault-rate {}\n", self.fault_rate));
+        }
+        if self.churn > 0.0 {
+            out.push_str(&format!("churn {}\n", self.churn));
+        }
+        if self.byzantine > 0 {
+            out.push_str(&format!("byzantine {}\n", self.byzantine));
+        }
+        out
+    }
+
+    /// Decode spec text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Spec`] for version or syntax violations.
+    pub fn decode(text: &str) -> Result<Self, ServiceError> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        if header.trim() != JOB_SPEC_VERSION {
+            return Err(ServiceError::Spec(format!(
+                "unsupported spec header '{header}' (expected '{JOB_SPEC_VERSION}')"
+            )));
+        }
+        let mut spec = JobSpec::new("tree", 0, 0);
+        spec.protocol = String::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once(' ')
+                .ok_or_else(|| ServiceError::Spec(format!("malformed line '{line}'")))?;
+            let v = v.trim();
+            match k {
+                "protocol" => spec.protocol = v.to_string(),
+                "n" => spec.n = parse(v, "n")?,
+                "init" => {
+                    let (fam, arg) = v.split_once(' ').unwrap_or((v, ""));
+                    spec.init = match fam {
+                        "stacked" => JobInit::Stacked,
+                        "uniform" => JobInit::Uniform,
+                        "perfect" => JobInit::Perfect,
+                        "all-in" => JobInit::AllIn(parse(arg, "init all-in")?),
+                        "k-distant" => JobInit::KDistant(parse(arg, "init k-distant")?),
+                        other => {
+                            return Err(ServiceError::Spec(format!("unknown init '{other}'")))
+                        }
+                    };
+                }
+                "engine" => spec.engine = EngineKind::parse(v).map_err(ServiceError::Spec)?,
+                "seed" => spec.seed = parse(v, "seed")?,
+                "max" => spec.max_interactions = parse(v, "max")?,
+                "threads" => spec.threads = parse(v, "threads")?,
+                "burst" => {
+                    let (t, f) = v.split_once(':').ok_or_else(|| {
+                        ServiceError::Spec(format!("burst expects time:faults, got '{v}'"))
+                    })?;
+                    spec.bursts.push((parse(t, "burst time")?, parse(f, "burst faults")?));
+                }
+                "fault-rate" => spec.fault_rate = parse(v, "fault-rate")?,
+                "churn" => spec.churn = parse(v, "churn")?,
+                "byzantine" => spec.byzantine = parse(v, "byzantine")?,
+                other => {
+                    return Err(ServiceError::Spec(format!("unknown spec field '{other}'")))
+                }
+            }
+        }
+        if spec.protocol.is_empty() || spec.n == 0 {
+            return Err(ServiceError::Spec(
+                "spec must set at least protocol and n".into(),
+            ));
+        }
+        Ok(spec)
+    }
+}
+
+fn canonical_protocol(name: &str) -> Option<&'static str> {
+    match name {
+        "generic" | "ag" => Some("generic"),
+        "ring" => Some("ring"),
+        "line" => Some("line"),
+        "tree" => Some("tree"),
+        _ => None,
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, ServiceError> {
+    v.trim()
+        .parse()
+        .map_err(|_| ServiceError::Spec(format!("{what}: cannot parse '{v}'")))
+}
+
+/// FNV-1a 64, fed word-at-a-time (bytes in little-endian order, so the
+/// digest is host-independent).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new(basis: u64) -> Self {
+        Fnv(basis)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    fn word(&mut self, w: u64) {
+        self.bytes(&w.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// 128-bit content address of a job. The hex form is the spool file name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(pub [u8; 16]);
+
+impl JobKey {
+    /// 32-character lowercase hex form (stable, filesystem-safe).
+    pub fn hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parse the hex form back.
+    pub fn from_hex(s: &str) -> Option<JobKey> {
+        let s = s.trim();
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let mut key = [0u8; 16];
+        for (i, chunk) in key.iter_mut().enumerate() {
+            *chunk = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+        }
+        Some(JobKey(key))
+    }
+}
+
+impl fmt::Display for JobKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// How a completed run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatusKind {
+    /// Reached a silent configuration within the budget.
+    Silent,
+    /// Budget exhausted first (still a *result* — deterministic per spec).
+    Timeout,
+}
+
+/// Adversary observables of a fault-plan job (mirrors
+/// [`ssr_engine::RunOutcome`] minus the report, which lives in the parent
+/// [`JobResult`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeStats {
+    /// Time-weighted availability.
+    pub availability: f64,
+    /// Time-weighted mean `k`-distance.
+    pub mean_k: f64,
+    /// Maximum `k`-distance excursion.
+    pub max_k: usize,
+    /// Corruption attempts injected.
+    pub faults_injected: u64,
+    /// Churn events executed.
+    pub churn_events: u64,
+    /// Per-burst records `(time, faults, k_after, recovery)`.
+    pub bursts: Vec<(u128, u32, usize, Option<u128>)>,
+}
+
+/// The memoised outcome of one job. `PartialEq` compares every field —
+/// floats included — so the kill/resume test can assert bit-identity
+/// (floats are encoded by bit pattern and never NaN).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Silent or budget-exhausted.
+    pub status: JobStatusKind,
+    /// Final interaction clock (u64 view, saturating).
+    pub interactions: u64,
+    /// Final interaction clock, full width.
+    pub interactions_wide: u128,
+    /// Productive interactions executed.
+    pub productive: u64,
+    /// Parallel time (interactions / n).
+    pub parallel_time: f64,
+    /// Adversary observables; `None` for fault-free jobs.
+    pub outcome: Option<OutcomeStats>,
+}
+
+impl JobResult {
+    /// Encode as versioned result text. Floats are written as `f64` bit
+    /// patterns (hex) so decoding is exact.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(JOB_RESULT_VERSION);
+        out.push('\n');
+        out.push_str(match self.status {
+            JobStatusKind::Silent => "status silent\n",
+            JobStatusKind::Timeout => "status timeout\n",
+        });
+        out.push_str(&format!("interactions {}\n", self.interactions));
+        out.push_str(&format!("interactions-wide {}\n", self.interactions_wide));
+        out.push_str(&format!("productive {}\n", self.productive));
+        out.push_str(&format!(
+            "parallel-time-bits {:016x}\n",
+            self.parallel_time.to_bits()
+        ));
+        if let Some(o) = &self.outcome {
+            out.push_str(&format!(
+                "outcome {:016x} {:016x} {} {} {}\n",
+                o.availability.to_bits(),
+                o.mean_k.to_bits(),
+                o.max_k,
+                o.faults_injected,
+                o.churn_events
+            ));
+            for &(t, f, k, r) in &o.bursts {
+                match r {
+                    Some(r) => out.push_str(&format!("burst {t}:{f}:{k}:{r}\n")),
+                    None => out.push_str(&format!("burst {t}:{f}:{k}:-\n")),
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode result text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Spec`] for version or syntax violations.
+    pub fn decode(text: &str) -> Result<Self, ServiceError> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or("");
+        if header.trim() != JOB_RESULT_VERSION {
+            return Err(ServiceError::Spec(format!(
+                "unsupported result header '{header}' (expected '{JOB_RESULT_VERSION}')"
+            )));
+        }
+        let mut result = JobResult {
+            status: JobStatusKind::Silent,
+            interactions: 0,
+            interactions_wide: 0,
+            productive: 0,
+            parallel_time: 0.0,
+            outcome: None,
+        };
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once(' ')
+                .ok_or_else(|| ServiceError::Spec(format!("malformed line '{line}'")))?;
+            let v = v.trim();
+            match k {
+                "status" => {
+                    result.status = match v {
+                        "silent" => JobStatusKind::Silent,
+                        "timeout" => JobStatusKind::Timeout,
+                        other => {
+                            return Err(ServiceError::Spec(format!("unknown status '{other}'")))
+                        }
+                    };
+                }
+                "interactions" => result.interactions = parse(v, "interactions")?,
+                "interactions-wide" => {
+                    result.interactions_wide = parse(v, "interactions-wide")?;
+                }
+                "productive" => result.productive = parse(v, "productive")?,
+                "parallel-time-bits" => {
+                    let bits = u64::from_str_radix(v, 16).map_err(|_| {
+                        ServiceError::Spec(format!("parallel-time-bits: bad hex '{v}'"))
+                    })?;
+                    result.parallel_time = f64::from_bits(bits);
+                }
+                "outcome" => {
+                    let parts: Vec<&str> = v.split_whitespace().collect();
+                    if parts.len() != 5 {
+                        return Err(ServiceError::Spec(format!(
+                            "outcome expects 5 fields, got '{v}'"
+                        )));
+                    }
+                    let fbits = |s: &str, what: &str| -> Result<f64, ServiceError> {
+                        u64::from_str_radix(s, 16)
+                            .map(f64::from_bits)
+                            .map_err(|_| ServiceError::Spec(format!("{what}: bad hex '{s}'")))
+                    };
+                    result.outcome = Some(OutcomeStats {
+                        availability: fbits(parts[0], "availability")?,
+                        mean_k: fbits(parts[1], "mean-k")?,
+                        max_k: parse(parts[2], "max-k")?,
+                        faults_injected: parse(parts[3], "faults-injected")?,
+                        churn_events: parse(parts[4], "churn-events")?,
+                        bursts: Vec::new(),
+                    });
+                }
+                "burst" => {
+                    let o = result.outcome.as_mut().ok_or_else(|| {
+                        ServiceError::Spec("burst line before outcome line".into())
+                    })?;
+                    let parts: Vec<&str> = v.split(':').collect();
+                    if parts.len() != 4 {
+                        return Err(ServiceError::Spec(format!(
+                            "burst expects t:f:k:r, got '{v}'"
+                        )));
+                    }
+                    let recovery = match parts[3] {
+                        "-" => None,
+                        r => Some(parse(r, "burst recovery")?),
+                    };
+                    o.bursts.push((
+                        parse(parts[0], "burst time")?,
+                        parse(parts[1], "burst faults")?,
+                        parse(parts[2], "burst k")?,
+                        recovery,
+                    ));
+                }
+                other => {
+                    return Err(ServiceError::Spec(format!(
+                        "unknown result field '{other}'"
+                    )))
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        let mut spec = JobSpec::new("tree", 65_536, 42);
+        spec.init = JobInit::KDistant(5);
+        spec.max_interactions = 1_000_000_000;
+        spec.threads = 4;
+        spec.bursts = vec![(1_000, 4), (5_000_000, 2)];
+        spec.fault_rate = 1e-7;
+        spec.byzantine = 3;
+        spec
+    }
+
+    #[test]
+    fn spec_text_round_trips() {
+        let spec = sample_spec();
+        assert_eq!(JobSpec::decode(&spec.encode()).unwrap(), spec);
+        let plain = JobSpec::new("ring", 100, 7);
+        assert_eq!(JobSpec::decode(&plain.encode()).unwrap(), plain);
+    }
+
+    #[test]
+    fn spec_decode_rejects_bad_input() {
+        assert!(JobSpec::decode("").is_err());
+        assert!(JobSpec::decode("ssr-job v9\nprotocol tree\nn 4\n").is_err());
+        assert!(JobSpec::decode("ssr-job v1\nprotocol tree\nn 4\nwat 3\n").is_err());
+        assert!(JobSpec::decode("ssr-job v1\nprotocol tree\n").is_err());
+    }
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let spec = sample_spec();
+        assert_eq!(spec.key().unwrap(), spec.key().unwrap());
+        let mut other = spec.clone();
+        other.seed += 1;
+        assert_ne!(spec.key().unwrap(), other.key().unwrap());
+        let mut other = spec.clone();
+        other.protocol = "ring".into();
+        assert_ne!(spec.key().unwrap(), other.key().unwrap());
+        let mut other = spec.clone();
+        other.bursts[0].1 += 1;
+        assert_ne!(spec.key().unwrap(), other.key().unwrap());
+    }
+
+    #[test]
+    fn key_excludes_threads_and_canonicalises() {
+        let spec = sample_spec();
+        let mut other = spec.clone();
+        other.threads = 32;
+        assert_eq!(spec.key().unwrap(), other.key().unwrap(), "threads are scheduling");
+
+        // Auto resolves to count at n ≥ 4096: same run, same key.
+        let mut auto = spec.clone();
+        auto.engine = EngineKind::Auto;
+        let mut count = spec;
+        count.engine = EngineKind::Count;
+        assert_eq!(auto.key().unwrap(), count.key().unwrap());
+
+        // `ag` is the same protocol as `generic`.
+        let a = JobSpec::new("ag", 64, 1);
+        let g = JobSpec::new("generic", 64, 1);
+        assert_eq!(a.key().unwrap(), g.key().unwrap());
+    }
+
+    #[test]
+    fn key_hex_round_trips() {
+        let key = sample_spec().key().unwrap();
+        assert_eq!(JobKey::from_hex(&key.hex()), Some(key));
+        assert_eq!(JobKey::from_hex("zz"), None);
+        assert_eq!(JobKey::from_hex(&"0".repeat(31)), None);
+    }
+
+    #[test]
+    fn result_text_round_trips_bit_exactly() {
+        let result = JobResult {
+            status: JobStatusKind::Timeout,
+            interactions: u64::MAX,
+            interactions_wide: (u64::MAX as u128) * 3,
+            productive: 123_456,
+            parallel_time: 1234.5678901234567,
+            outcome: Some(OutcomeStats {
+                availability: 0.9987654321,
+                mean_k: 0.1234,
+                max_k: 17,
+                faults_injected: 99,
+                churn_events: 3,
+                bursts: vec![(1_000, 4, 7, Some(88_000)), (2_000, 2, 3, None)],
+            }),
+        };
+        let decoded = JobResult::decode(&result.encode()).unwrap();
+        assert_eq!(decoded, result);
+        assert_eq!(
+            decoded.parallel_time.to_bits(),
+            result.parallel_time.to_bits()
+        );
+    }
+
+    #[test]
+    fn validate_catches_unsatisfiable_specs() {
+        assert!(JobSpec::new("tree", 64, 1).validate().is_ok());
+        assert!(JobSpec::new("warp", 64, 1).validate().is_err());
+        assert!(JobSpec::new("tree", 0, 1).validate().is_err());
+        let mut bad = JobSpec::new("tree", 64, 1);
+        bad.init = JobInit::KDistant(64);
+        assert!(bad.validate().is_err());
+        let mut unbounded = JobSpec::new("tree", 64, 1);
+        unbounded.churn = 1e-6;
+        assert!(unbounded.validate().is_err(), "persistent plan needs a cap");
+        unbounded.max_interactions = 1_000_000;
+        assert!(unbounded.validate().is_ok());
+    }
+}

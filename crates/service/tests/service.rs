@@ -1,0 +1,395 @@
+//! End-to-end service tests: kill/resume bit-identity, cache-first
+//! serving, daemon crash recovery.
+
+use ssr_service::{
+    daemon, run_job, submit_job, CheckpointStore, Daemon, DaemonConfig, JobInit, JobSpec,
+    JobStatusKind, ResultCache, RunConfig, RunDisposition,
+};
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ssr-svc-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tree_job(n: usize, seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new("tree", n, seed);
+    spec.init = JobInit::Stacked;
+    spec
+}
+
+fn completed(disposition: RunDisposition) -> (ssr_service::JobResult, bool) {
+    match disposition {
+        RunDisposition::Completed { result, resumed } => (result, resumed),
+        other => panic!("expected completion, got {other:?}"),
+    }
+}
+
+/// The acceptance criterion: a count-engine run at n = 65536, checkpointed
+/// mid-batch and killed, restored in a fresh process-simulated daemon,
+/// must produce a final report bit-identical to an uninterrupted run — at
+/// 1 and at 4 threads (and across the two, since trajectories are
+/// thread-count-invariant).
+#[test]
+fn kill_resume_is_bit_identical_at_n_65536() {
+    let spec = tree_job(65_536, 42);
+    let mut reference = None;
+    for threads in [1usize, 4] {
+        let dir = temp_dir(&format!("killresume-t{threads}"));
+        let store = CheckpointStore::open(dir.join("checkpoints")).unwrap();
+
+        // Uninterrupted reference run (no checkpoint store contact).
+        let uninterrupted = RunConfig {
+            threads,
+            checkpoint_every: 0,
+            interrupt_after: None,
+        };
+        let (expected, resumed) = completed(run_job(&spec, &store, &uninterrupted).unwrap());
+        assert!(!resumed);
+        assert_eq!(expected.status, JobStatusKind::Silent);
+        assert!(expected.interactions_wide > 0);
+
+        // Same run, checkpointing every 100k interactions, killed after
+        // the first checkpoint lands (mid-batch, far from silence).
+        let interrupted = RunConfig {
+            threads,
+            checkpoint_every: 100_000,
+            interrupt_after: Some(1),
+        };
+        match run_job(&spec, &store, &interrupted).unwrap() {
+            RunDisposition::Interrupted { checkpoints } => assert_eq!(checkpoints, 1),
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        let key = spec.key().unwrap();
+        let (ckpt_clock, _) = store.latest(key).expect("a durable checkpoint");
+        assert!(
+            ckpt_clock < expected.interactions_wide,
+            "killed well before completion"
+        );
+
+        // Fresh-daemon restore: resume and finish.
+        let resume = RunConfig {
+            threads,
+            checkpoint_every: 100_000,
+            interrupt_after: None,
+        };
+        let (resumed_result, was_resumed) = completed(run_job(&spec, &store, &resume).unwrap());
+        assert!(was_resumed);
+        assert_eq!(resumed_result, expected, "threads = {threads}");
+        assert_eq!(
+            resumed_result.parallel_time.to_bits(),
+            expected.parallel_time.to_bits()
+        );
+        assert_eq!(store.latest(key), None, "completion clears checkpoints");
+
+        // Thread-count invariance of the result itself.
+        if let Some(prev) = &reference {
+            assert_eq!(prev, &expected, "1-thread vs {threads}-thread");
+        }
+        reference = Some(expected);
+    }
+}
+
+/// Resuming must also commute with *repeated* kills: two interruptions
+/// then a final resume still lands on the reference result.
+#[test]
+fn repeated_kills_still_converge_to_the_reference() {
+    let spec = tree_job(16_384, 7);
+    let dir = temp_dir("rekill");
+    let store = CheckpointStore::open(dir.join("checkpoints")).unwrap();
+    let reference = {
+        let plain = CheckpointStore::open(dir.join("ref-checkpoints")).unwrap();
+        completed(
+            run_job(
+                &spec,
+                &plain,
+                &RunConfig {
+                    threads: 1,
+                    checkpoint_every: 0,
+                    interrupt_after: None,
+                },
+            )
+            .unwrap(),
+        )
+        .0
+    };
+    let kill = RunConfig {
+        threads: 1,
+        checkpoint_every: 20_000,
+        interrupt_after: Some(1),
+    };
+    for _ in 0..2 {
+        match run_job(&spec, &store, &kill).unwrap() {
+            RunDisposition::Interrupted { .. } => {}
+            RunDisposition::Completed { .. } => panic!("killed too late; lower the cadence"),
+        }
+    }
+    let finish = RunConfig {
+        threads: 1,
+        checkpoint_every: 20_000,
+        interrupt_after: None,
+    };
+    assert_eq!(completed(run_job(&spec, &store, &finish).unwrap()).0, reference);
+}
+
+/// Fault-plan jobs have no mid-run checkpoints but must be deterministic
+/// per spec: re-running after a (simulated) kill reproduces the result.
+#[test]
+fn fault_plan_jobs_rerun_deterministically() {
+    let mut spec = tree_job(8_192, 3);
+    spec.init = JobInit::Perfect;
+    spec.bursts = vec![(1_000, 16)];
+    spec.max_interactions = 500_000_000;
+    let dir = temp_dir("faultjob");
+    let store = CheckpointStore::open(dir.join("checkpoints")).unwrap();
+    let cfg = RunConfig::default();
+    let (a, _) = completed(run_job(&spec, &store, &cfg).unwrap());
+    let (b, _) = completed(run_job(&spec, &store, &cfg).unwrap());
+    assert_eq!(a, b);
+    let outcome = a.outcome.expect("fault jobs carry outcome stats");
+    assert_eq!(outcome.bursts.len(), 1);
+    assert_eq!(outcome.faults_injected, 16);
+}
+
+/// Daemon end-to-end: submit → drain → done (engine); resubmit → done via
+/// cache hit with zero engine interactions executed.
+#[test]
+fn daemon_serves_resubmissions_from_cache() {
+    let dir = temp_dir("daemon-cache");
+    let spec = tree_job(4_096, 11);
+    let key = submit_job(&dir, &spec).unwrap();
+    assert_eq!(daemon::job_status(&dir, key), daemon::JobStatus::Pending);
+
+    let stats = Daemon::new(DaemonConfig::new(&dir)).unwrap().run().unwrap();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(
+        daemon::job_status(&dir, key),
+        daemon::JobStatus::Done {
+            source: "engine".into()
+        }
+    );
+    let first = daemon::job_result(&dir, key).unwrap();
+
+    // Resubmit the identical job (different requested thread budget —
+    // not part of the identity).
+    let mut again = spec.clone();
+    again.threads = 4;
+    let key2 = submit_job(&dir, &again).unwrap();
+    assert_eq!(key2, key);
+    let stats = Daemon::new(DaemonConfig::new(&dir)).unwrap().run().unwrap();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cache_hits, 1, "second submission must hit the cache");
+    assert_eq!(
+        daemon::job_status(&dir, key),
+        daemon::JobStatus::Done {
+            source: "cache".into()
+        }
+    );
+    assert_eq!(daemon::job_result(&dir, key).unwrap(), first);
+}
+
+/// Daemon kill drill: a checkpointed job interrupted mid-run is requeued;
+/// a successor daemon resumes it from the durable checkpoint and the
+/// result matches an uninterrupted daemon's.
+#[test]
+fn daemon_kill_and_successor_resume() {
+    // Uninterrupted reference through a separate spool.
+    let ref_dir = temp_dir("daemon-ref");
+    let spec = tree_job(65_536, 42);
+    let key = submit_job(&ref_dir, &spec).unwrap();
+    let mut cfg = DaemonConfig::new(&ref_dir);
+    cfg.checkpoint_every = 100_000;
+    Daemon::new(cfg).unwrap().run().unwrap();
+    let reference = daemon::job_result(&ref_dir, key).unwrap();
+
+    // Killed daemon: worker interrupts after the first checkpoint.
+    let dir = temp_dir("daemon-kill");
+    submit_job(&dir, &spec).unwrap();
+    let mut cfg = DaemonConfig::new(&dir);
+    cfg.checkpoint_every = 100_000;
+    cfg.kill_after_checkpoints = Some(1);
+    let stats = Daemon::new(cfg).unwrap().run().unwrap();
+    assert_eq!(stats.interrupted, 1);
+    assert_eq!(stats.completed, 0);
+    assert_eq!(daemon::job_status(&dir, key), daemon::JobStatus::Pending);
+
+    // Successor daemon: resumes from the checkpoint and completes.
+    let mut cfg = DaemonConfig::new(&dir);
+    cfg.checkpoint_every = 100_000;
+    let stats = Daemon::new(cfg).unwrap().run().unwrap();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.resumed, 1, "must resume, not restart");
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(daemon::job_result(&dir, key).unwrap(), reference);
+}
+
+/// A daemon that dies between claiming and finishing (job left in
+/// `running/`) must requeue it on the next start.
+#[test]
+fn daemon_startup_recovers_orphaned_running_jobs() {
+    let dir = temp_dir("daemon-orphan");
+    let spec = tree_job(4_096, 5);
+    let key = submit_job(&dir, &spec).unwrap();
+    // Simulate a crash post-claim: move the spool entry by hand.
+    std::fs::create_dir_all(dir.join("running")).unwrap();
+    std::fs::rename(
+        dir.join("pending").join(format!("{}.job", key.hex())),
+        dir.join("running").join(format!("{}.job", key.hex())),
+    )
+    .unwrap();
+    assert_eq!(daemon::job_status(&dir, key), daemon::JobStatus::Running);
+
+    let daemon = Daemon::new(DaemonConfig::new(&dir)).unwrap();
+    let stats = daemon_run(daemon);
+    assert_eq!(stats.recovered, 1);
+    assert_eq!(stats.completed, 1);
+    assert!(matches!(
+        daemon::job_status(&dir, key),
+        daemon::JobStatus::Done { .. }
+    ));
+}
+
+fn daemon_run(mut d: Daemon) -> ssr_service::DaemonStats {
+    d.run().unwrap()
+}
+
+/// Malformed spool entries fail loudly into `failed/` without wedging the
+/// queue.
+#[test]
+fn daemon_quarantines_bad_specs() {
+    let dir = temp_dir("daemon-bad");
+    std::fs::create_dir_all(dir.join("pending")).unwrap();
+    std::fs::write(dir.join("pending").join("deadbeef.job"), "not a spec").unwrap();
+    let good = tree_job(4_096, 9);
+    let key = submit_job(&dir, &good).unwrap();
+
+    let stats = Daemon::new(DaemonConfig::new(&dir)).unwrap().run().unwrap();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 1);
+    assert!(dir.join("failed").join("deadbeef.err").exists());
+    assert!(matches!(
+        daemon::job_status(&dir, key),
+        daemon::JobStatus::Done { .. }
+    ));
+}
+
+/// The cache key guards against engine-kind aliasing: `auto` at
+/// n ≥ 4096 *is* `count`, so the explicit spec hits the auto spec's
+/// cached result — but `jump` is a different stepping discipline and must
+/// not.
+#[test]
+fn cache_respects_engine_identity() {
+    let dir = temp_dir("engine-identity");
+    let auto = tree_job(4_096, 13);
+    let mut count = auto.clone();
+    count.engine = ssr_engine::EngineKind::Count;
+    let mut jump = auto.clone();
+    jump.engine = ssr_engine::EngineKind::Jump;
+
+    assert_eq!(auto.key().unwrap(), count.key().unwrap());
+    assert_ne!(auto.key().unwrap(), jump.key().unwrap());
+
+    submit_job(&dir, &auto).unwrap();
+    Daemon::new(DaemonConfig::new(&dir)).unwrap().run().unwrap();
+    submit_job(&dir, &count).unwrap();
+    submit_job(&dir, &jump).unwrap();
+    let stats = Daemon::new(DaemonConfig::new(&dir)).unwrap().run().unwrap();
+    assert_eq!(stats.cache_hits, 1, "count aliases auto; jump does not");
+    assert_eq!(stats.completed, 2);
+}
+
+/// Restoring a checkpoint into a *different* job must be impossible: the
+/// store is keyed, and even a hand-moved blob is rejected by the wire
+/// layer's schema-hash check.
+#[test]
+fn checkpoints_do_not_cross_jobs() {
+    let dir = temp_dir("cross-job");
+    let store = CheckpointStore::open(dir.join("checkpoints")).unwrap();
+    let spec_a = tree_job(16_384, 1);
+    let kill = RunConfig {
+        threads: 1,
+        checkpoint_every: 20_000,
+        interrupt_after: Some(1),
+    };
+    match run_job(&spec_a, &store, &kill).unwrap() {
+        RunDisposition::Interrupted { .. } => {}
+        other => panic!("expected interruption, got {other:?}"),
+    }
+    // Graft A's checkpoint under B's key (B: different n ⇒ different
+    // schema hash).
+    let spec_b = tree_job(8_192, 1);
+    let (clock, blob) = store.latest(spec_a.key().unwrap()).unwrap();
+    store.save(spec_b.key().unwrap(), clock, &blob).unwrap();
+    let finish = RunConfig {
+        threads: 1,
+        checkpoint_every: 0,
+        interrupt_after: None,
+    };
+    match run_job(&spec_b, &store, &finish) {
+        Err(ssr_service::ServiceError::Snapshot(_)) => {}
+        other => panic!("grafted checkpoint must be rejected, got {other:?}"),
+    }
+}
+
+/// The result cache survives corruption: a damaged entry is a miss, and
+/// the daemon recomputes instead of serving garbage.
+#[test]
+fn corrupt_cache_entry_forces_recompute() {
+    let dir = temp_dir("corrupt-cache");
+    let spec = tree_job(4_096, 21);
+    let key = submit_job(&dir, &spec).unwrap();
+    Daemon::new(DaemonConfig::new(&dir)).unwrap().run().unwrap();
+    let reference = daemon::job_result(&dir, key).unwrap();
+
+    std::fs::write(
+        dir.join("cache").join(format!("{}.result", key.hex())),
+        "garbage",
+    )
+    .unwrap();
+    submit_job(&dir, &spec).unwrap();
+    let stats = Daemon::new(DaemonConfig::new(&dir)).unwrap().run().unwrap();
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(daemon::job_result(&dir, key).unwrap(), reference);
+}
+
+/// A timed-out job is still a deterministic, memoisable result.
+#[test]
+fn timeouts_are_results_and_cacheable() {
+    let dir = temp_dir("timeout");
+    let mut spec = tree_job(16_384, 2);
+    spec.max_interactions = 50_000; // far below stabilisation
+    let key = submit_job(&dir, &spec).unwrap();
+    let stats = Daemon::new(DaemonConfig::new(&dir)).unwrap().run().unwrap();
+    assert_eq!(stats.completed, 1);
+    let result = daemon::job_result(&dir, key).unwrap();
+    assert_eq!(result.status, JobStatusKind::Timeout);
+
+    submit_job(&dir, &spec).unwrap();
+    let stats = Daemon::new(DaemonConfig::new(&dir)).unwrap().run().unwrap();
+    assert_eq!(stats.cache_hits, 1);
+}
+
+/// ResultCache is shared daemon infrastructure but also works standalone
+/// (the bench uses it this way).
+#[test]
+fn standalone_cache_round_trip() {
+    let dir = temp_dir("standalone-cache");
+    let cache = ResultCache::open(&dir).unwrap();
+    let spec = tree_job(4_096, 1);
+    let key = spec.key().unwrap();
+    assert!(cache.get(key).is_none());
+    let result = ssr_service::JobResult {
+        status: JobStatusKind::Silent,
+        interactions: 10,
+        interactions_wide: 10,
+        productive: 5,
+        parallel_time: 10.0 / 4096.0,
+        outcome: None,
+    };
+    cache.put(key, &result).unwrap();
+    assert_eq!(cache.get(key), Some(result));
+}

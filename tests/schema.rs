@@ -118,6 +118,37 @@ fn declared_classes_are_inhabited() {
     inhabited(&LooseLeaderElection::with_timer(12, 5), "loose");
 }
 
+/// `schema_hash` is the result-cache key primitive: at a fixed population
+/// the five core protocols must all fingerprint differently, and each
+/// protocol must fingerprint differently across populations.
+#[test]
+fn schema_hash_distinct_across_core_protocols() {
+    let n = 16;
+    let hashes = [
+        ("generic", GenericRanking::new(n).schema_hash()),
+        ("ring", RingOfTraps::new(n).schema_hash()),
+        ("line", LineOfTraps::new(n).schema_hash()),
+        ("tree", TreeRanking::new(n).schema_hash()),
+        ("loose", LooseLeaderElection::new(n).schema_hash()),
+    ];
+    for (i, (name_a, h_a)) in hashes.iter().enumerate() {
+        for (name_b, h_b) in &hashes[i + 1..] {
+            assert_ne!(h_a, h_b, "{name_a} and {name_b} share a schema hash");
+        }
+    }
+    // Population is part of the fingerprint (a cached n=16 result must
+    // never answer an n=32 job).
+    assert_ne!(
+        TreeRanking::new(16).schema_hash(),
+        TreeRanking::new(32).schema_hash()
+    );
+    // And the fingerprint is reproducible across instances.
+    assert_eq!(
+        TreeRanking::new(16).schema_hash(),
+        TreeRanking::new(16).schema_hash()
+    );
+}
+
 /// The schema is what the engines consume, so a protocol passing
 /// validation must run identically (per seed, batching off) on the jump
 /// and count engines — spot-checked here for the sparse-pair protocol
