@@ -26,6 +26,7 @@ use crate::regression::{fit_power_law, PowerLawFit};
 use crate::stats::Summary;
 use crate::table::{fmt_f64, Table};
 use ssr_engine::protocol::{InteractionSchema, State};
+use ssr_engine::rng::derive_seed;
 use ssr_engine::runner::{Init, Scenario};
 use ssr_engine::EngineKind;
 
@@ -34,7 +35,7 @@ use ssr_engine::EngineKind;
 pub struct SweepOptions {
     /// Trials per grid point.
     pub trials: usize,
-    /// Base seed (grid point `i` derives from `base_seed + i`).
+    /// Base seed (grid point `i` runs under `derive_seed(base_seed, i)`).
     pub base_seed: u64,
     /// Per-trial interaction cap.
     pub max_interactions: u64,
@@ -220,7 +221,7 @@ where
             .engine(opts.engine)
             .init(Init::Custom(&make))
             .trials(opts.trials)
-            .base_seed(opts.base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9))
+            .base_seed(derive_seed(opts.base_seed, i as u64))
             .max_interactions(opts.max_interactions)
             .threads(opts.threads)
             .run();

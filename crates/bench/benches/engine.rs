@@ -15,6 +15,9 @@
 //!
 //! Results are written to `BENCH_engines.json` by the criterion shim.
 
+// Audited: benchmark loop casts bounded f64 sizes to usize.
+#![allow(clippy::cast_possible_truncation)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ssr_core::{GenericRanking, LooseLeaderElection, TreeRanking};
 use ssr_engine::engine::{make_engine, Engine, EngineKind};

@@ -15,6 +15,9 @@
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_ablation`
 
+// Audited: experiment grids cast small f64 population sizes to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr_analysis::{Summary, Table};
 use ssr_bench::{print_header, stacked_start, trials, uniform_start};
 use ssr_engine::State;

@@ -12,6 +12,9 @@
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_baseline`
 
+// Audited: experiment grids cast small f64 population sizes (n <= 2^20) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr_analysis::sweep::{sweep, SweepOptions};
 use ssr_analysis::{fit_power_law, Summary, Table};
 use ssr_bench::{grid, print_header, report_sweep, stacked_start, trials, uniform_start, verdict};

@@ -9,6 +9,9 @@
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_convergence`
 
+// Audited: experiment grids cast small f64 population sizes to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr_analysis::Table;
 use ssr_bench::{print_header, uniform_start};
 use ssr_core::{GenericRanking, LineOfTraps, RingOfTraps, TreeRanking};

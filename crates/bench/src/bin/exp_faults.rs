@@ -15,6 +15,9 @@
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_faults`
 
+// Audited: fault-count grids cast small f64 fractions of n (n <= 2^20) to usize/u64.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr_analysis::{fit_power_law, Summary, Table};
 use ssr_bench::{grid, print_header, trials, verdict};
 use ssr_core::{GenericRanking, RingOfTraps, TreeRanking};

@@ -6,8 +6,12 @@
 //! Figure 2: the perfectly balanced binary tree of ranks for `n = 9`
 //! (pre-order state distribution, drawn as ASCII), plus the height bound
 //! `h ≤ 2 log n` across a range of sizes.
+
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_figures`
+
+// Audited: `⌈log₂ m⌉ as u32` on tiny diameter bounds (m ≤ 1024).
+#![allow(clippy::cast_possible_truncation)]
 
 use ssr_bench::print_header;
 use ssr_topology::{BalancedTree, CubicGraph, NodeKind};

@@ -10,6 +10,9 @@
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_lemma1`
 
+// Audited: experiment grids cast small f64 population sizes to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr_analysis::{fit_power_law, Summary, Table};
 use ssr_bench::{grid, print_header, trials};
 use ssr_core::ring::RingOfTraps;

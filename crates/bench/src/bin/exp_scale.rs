@@ -27,6 +27,9 @@
 //! `SSR_QUICK=1` for a smoke run, `SSR_SCALE_MAX_LOG2=27` to cap the grid,
 //! `SSR_THREADS=4` to parallelise each run's batch splits)
 
+// Audited: experiment grids cast small f64 population sizes to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr_analysis::{fit_power_law, fit_power_law_with_polylog, Summary, Table};
 use ssr_bench::{format_bytes, peak_rss_bytes, print_header, trials, verdict};
 use ssr_core::TreeRanking;

@@ -12,6 +12,9 @@
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_theorem1`
 
+// Audited: experiment grids cast small f64 population sizes (n <= 2^20) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr_analysis::sweep::{sweep, SweepOptions};
 use ssr_bench::{grid, print_header, report_sweep, trials, uniform_start, verdict};
 use ssr_core::generic::GenericRanking;

@@ -8,6 +8,9 @@
 //!
 //! Run: `cargo run --release -p ssr-bench --bin exp_theorem3`
 
+// Audited: experiment grids cast small f64 population sizes (n <= 2^20) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr_analysis::regression::fit_power_law_with_polylog;
 use ssr_analysis::sweep::{sweep, SweepOptions};
 use ssr_analysis::{Summary, Table};

@@ -16,6 +16,9 @@
 //! ssr help
 //! ```
 
+// Audited: CLI argument handling narrows user-supplied f64/u64 sizes to usize/u32; values are validated population sizes well below 2^32.
+#![allow(clippy::cast_possible_truncation)]
+
 mod args;
 
 use args::Args;
@@ -50,7 +53,7 @@ fn make_start(
     seed: u64,
 ) -> Result<Vec<State>, String> {
     let n = p.population_size();
-    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5EED);
+    let mut rng = Xoshiro256::seed_from_u64(derive_seed(seed, 0x5EED));
     match start {
         "uniform" => Ok(init::uniform_random(n, p.num_states(), &mut rng)),
         "stacked" => Ok(init::all_in(n, 0)),
@@ -327,7 +330,7 @@ fn cmd_faults(a: &Args) -> Result<(), String> {
     let mut times = Vec::with_capacity(trials as usize);
     let mut ks = Vec::with_capacity(trials as usize);
     for t in 0..trials {
-        let rep = ssr_engine::recovery_after_faults(p.as_ref(), faults, seed + t, u64::MAX)
+        let rep = ssr_engine::recovery_after_faults(p.as_ref(), faults, derive_seed(seed, t), u64::MAX)
             .map_err(|e| e.to_string())?;
         times.push(rep.recovered.parallel_time);
         ks.push(rep.distance_after_faults as f64);

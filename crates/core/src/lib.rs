@@ -43,7 +43,12 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe_code = "forbid"` comes from [workspace.lints] in the root manifest.
+// Truncation-cast audit (workspace denies `cast_possible_truncation`):
+// protocol state arithmetic narrows usize⇄u32 `State`; every narrow is
+// bounded by the population size n, which the engine's memory model
+// (≥ 4 bytes/state of counts) keeps below 2³².
+#![allow(clippy::cast_possible_truncation)]
 #![warn(missing_docs)]
 
 pub mod generic;

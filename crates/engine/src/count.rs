@@ -708,6 +708,8 @@ impl<'a, P: InteractionSchema + ?Sized> CountSimulation<'a, P> {
     /// `u128` (see [`interactions_wide`](Self::interactions_wide)):
     /// beyond `n ≈ 2³¹` a full run exceeds `u64::MAX` total interactions.
     pub fn interactions(&self) -> u64 {
+        // lint:allow(A001): documented saturating u64 API boundary —
+        // the exact clock is `interactions_wide()`.
         self.interactions.min(u64::MAX as u128) as u64
     }
 

@@ -266,6 +266,8 @@ impl EngineSnapshot {
     /// The interaction clock at capture time, saturating at `u64::MAX`
     /// (see [`interactions_wide`](Self::interactions_wide)).
     pub fn interactions(&self) -> u64 {
+        // lint:allow(A001): documented saturating u64 API boundary —
+        // the exact clock is `interactions_wide()`.
         self.interactions.min(u64::MAX as u128) as u64
     }
 

@@ -168,7 +168,9 @@ fn perturb_counts_linear(
         }
         let to = rng.below_usize(num_states);
         if to != from {
-            counts[from] -= 1;
+            counts[from] = counts[from]
+                .checked_sub(1)
+                .expect("perturb_counts: sampled fault source must be occupied");
             counts[to] += 1;
             changed += 1;
         }
@@ -198,7 +200,9 @@ fn perturb_counts_tree(
         let from = fen.sample(idx);
         let to = rng.below_usize(num_states);
         if to != from {
-            counts[from] -= 1;
+            counts[from] = counts[from]
+                .checked_sub(1)
+                .expect("perturb_counts_tree: sampled fault source must be occupied");
             counts[to] += 1;
             fen.set(from, counts[from] as u64);
             fen.set(to, counts[to] as u64);
@@ -264,6 +268,10 @@ pub fn recovery_after_faults<P: InteractionSchema + ?Sized>(
     for c in counts.iter_mut().take(n) {
         *c = 1;
     }
+    // lint:allow(D001): frozen stream — the ⊕0x5eed_f417 tag is the
+    // documented fault-stream separator; rewriting it through
+    // derive_seed would alter every recorded fault schedule and the
+    // seed-compat contract with the pre-PR 7 jump path.
     let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5eed_f417);
     let faults_applied = perturb_counts(&mut counts, protocol.num_states(), faults, &mut rng);
     let distance_after_faults = rank_distance(&counts, n);

@@ -69,6 +69,8 @@ pub fn k_distant(
         k < n,
         "a k-distant configuration needs k < n (got k = {k}, n = {n})"
     );
+    // lint:allow(D002): membership-only — queried with `contains` in a
+    // deterministic 0..n scan; never iterated.
     let missing: std::collections::HashSet<usize> =
         rng.sample_distinct(n, k).into_iter().collect();
     let present: Vec<State> = (0..n)

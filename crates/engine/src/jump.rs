@@ -110,6 +110,9 @@ impl<'a, P: InteractionSchema + ?Sized> JumpSimulation<'a, P> {
             state,
             interactions: 0,
             productive: 0,
+            // lint:allow(A001): widening usize→u64 casts of n, not a
+            // truncation — the product fits u64 for every n the 4n-byte
+            // agent/count memory model can reach (n < 2³²).
             ordered_pairs: (n as u64) * (n as u64).saturating_sub(1),
             rng: Xoshiro256::seed_from_u64(seed),
             byz: None,
@@ -369,9 +372,11 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for JumpSimulation<'_,
             // Exact truncation: by memorylessness the time to the next
             // productive interaction, measured from the cap, is again
             // geometric under whatever weights then hold.
+            // lint:allow(A001): saturating clamp at the u64 clock width.
             self.interactions = cap.min(u64::MAX as u128) as u64;
             return CappedAdvance::CapReached;
         }
+        // lint:allow(A001): exact — `next ≤ cap ≤ u64::MAX` was checked above.
         self.interactions = next as u64;
         self.productive += 1;
         let (before, after) = self.sample_and_apply();
@@ -390,6 +395,7 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for JumpSimulation<'_,
     fn skip_nulls(&mut self, nulls: u128) {
         self.interactions = self
             .interactions
+            // lint:allow(A001): saturating clamp at the u64 clock width.
             .saturating_add(nulls.min(u64::MAX as u128) as u64);
     }
 
@@ -414,6 +420,7 @@ impl<P: InteractionSchema + ?Sized> crate::engine::Engine for JumpSimulation<'_,
                 .expect("snapshot counts do not match this protocol");
         // The jump engine's clock is u64; count-engine snapshots past
         // u64::MAX cannot be represented here and saturate.
+        // lint:allow(A001): that documented saturation, deliberately.
         fresh.interactions = snapshot.interactions.min(u64::MAX as u128) as u64;
         fresh.productive = snapshot.productive;
         fresh.rng = snapshot.rng.clone();

@@ -114,8 +114,14 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe_code = "forbid"` comes from [workspace.lints] in the root manifest.
 #![warn(missing_docs)]
+// Truncation-cast audit (workspace denies `cast_possible_truncation`):
+// the engine is pervasively numeric — u32 counts, usize indices, u64
+// weights, u128 clock — and narrows deliberately at documented
+// boundaries. The dangerous narrows (interaction clock, weight totals)
+// are machine-checked by ssr-lint's A-series rules instead.
+#![allow(clippy::cast_possible_truncation)]
 
 mod classes;
 pub mod count;

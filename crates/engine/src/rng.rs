@@ -380,6 +380,8 @@ impl Xoshiro256 {
             all
         } else {
             // Sparse regime: rejection with a hash set.
+            // lint:allow(D002): membership-only — `seen` gates inserts
+            // and is never iterated; output order comes from the RNG.
             let mut seen = std::collections::HashSet::with_capacity(k * 2);
             let mut out = Vec::with_capacity(k);
             while out.len() < k {

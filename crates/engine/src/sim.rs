@@ -257,7 +257,9 @@ impl<'a, P: Protocol + ?Sized> Simulation<'a, P> {
     /// interaction clock. Returns the event if it was productive.
     #[inline]
     fn apply_pair(&mut self, i: usize, r: usize) -> Option<TransitionEvent> {
-        self.interactions += 1;
+        // Saturate like the jump/count clocks: a bare `+= 1` wraps in
+        // release at u64::MAX (reachable near silence at extreme n).
+        self.interactions = self.interactions.saturating_add(1);
         let si = self.agents[i];
         let sr = self.agents[r];
         match self.protocol.transition(si, sr) {
@@ -546,6 +548,7 @@ impl<P: Protocol + ?Sized> crate::engine::Engine for Simulation<'_, P> {
     fn skip_nulls(&mut self, nulls: u128) {
         self.interactions = self
             .interactions
+            // lint:allow(A001): saturating clamp at the u64 clock width.
             .saturating_add(nulls.min(u64::MAX as u128) as u64);
     }
 
@@ -599,6 +602,7 @@ impl<P: Protocol + ?Sized> crate::engine::Engine for Simulation<'_, P> {
         self.extra_agents = self.counts[num_ranks..].iter().map(|&c| c as u64).sum();
         // The naive engine's clock is u64; count-engine snapshots past
         // u64::MAX cannot be represented here and saturate.
+        // lint:allow(A001): that documented saturation, deliberately.
         self.interactions = snapshot.interactions.min(u64::MAX as u128) as u64;
         self.productive = snapshot.productive;
         self.rng = snapshot.rng.clone();

@@ -1,0 +1,98 @@
+//! `cargo run -p ssr-lint [-- --format json] [--root PATH]`
+//!
+//! Exit codes: `0` clean (no unwaived violations — reasonless waivers
+//! count as unwaived `W001`s), `1` violations found, `2` usage or I/O
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    let mut s = String::from(
+        "ssr-lint: workspace static analysis (determinism / arithmetic width / panic discipline)\n\n\
+         USAGE: cargo run -p ssr-lint -- [--format human|json] [--root PATH] [--list-rules]\n\n\
+         RULES:\n",
+    );
+    for r in ssr_lint::rules::RULES {
+        s.push_str(&format!("  {}  {}\n", r.id, r.summary));
+    }
+    s.push_str("  W001  every lint:allow(...) waiver must carry a `: reason`\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let mut format = "human".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "human" || f == "json" => format = f,
+                _ => {
+                    eprintln!("--format takes `human` or `json`\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root takes a path\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" | "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("could not locate the workspace root (no Cargo.toml with [workspace] above the cwd); pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match ssr_lint::lint_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ssr-lint: I/O error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the cwd to the first `Cargo.toml` declaring
+/// `[workspace]`. `cargo run -p ssr-lint` runs from anywhere inside
+/// the repo without flags.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: seeds every D- and A-series rule. Line numbers below are
+// asserted by crates/lint/tests/fixtures.rs — keep them stable.
+//
+use std::collections::HashMap; // line 4: D002
+use std::time::Instant; // line 5: D003
+
+pub fn bad(seed: u64, mut interactions: u64, counts: &mut [u64]) -> u64 {
+    let derived = seed ^ 0x9e37_79b9_7f4a_7c15; // line 8: D001
+    let _t = Instant::now(); // line 9: D003
+    let _m: HashMap<u64, u64> = HashMap::new(); // line 10: D002 (twice)
+    interactions += 1; // line 11: A002
+    counts[0] -= 1; // line 12: A003
+    let narrowed = interactions as u32; // line 13: A001
+    derived + u64::from(narrowed) + counts[0]
+}

@@ -1,0 +1,14 @@
+// Fixture: conforming trajectory code — must produce zero violations.
+use std::collections::BTreeMap;
+
+pub fn good(base_seed: u64, interactions: u64, counts: &mut [u64]) -> u64 {
+    let stream = derive_seed(base_seed, 1);
+    let widened = interactions.saturating_add(1);
+    counts[0] = counts[0].checked_sub(1).unwrap_or(0);
+    let _m: BTreeMap<u64, u64> = BTreeMap::new();
+    stream ^ widened
+}
+
+fn derive_seed(base: u64, idx: u64) -> u64 {
+    base.rotate_left((idx % 63) as u32)
+}

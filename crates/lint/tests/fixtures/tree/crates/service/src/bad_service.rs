@@ -1,0 +1,10 @@
+// Fixture: P001 hits plus waiver behaviour (trailing waiver with a
+// reason, reasonless waiver => W001). Line numbers are asserted.
+pub fn bad(input: Option<u32>) -> u32 {
+    let a = input.unwrap(); // line 4: P001
+    let b = input.expect("boom"); // line 5: P001
+    let c = input.unwrap(); // lint:allow(P001): fixture waived on purpose
+    // lint:allow(P001)
+    let d = input.unwrap(); // line 8: P001 (waiver above lacks a reason)
+    a + b + c + d
+}

@@ -1,0 +1,9 @@
+// Fixture: lives under vendor/ and must never be scanned. If the
+// exclusion regresses, the `Instant` and seed arithmetic below would
+// surface as D003/D001 hits in the fixture-tree report.
+use std::time::Instant;
+
+pub fn vendored(seed: u64) -> u64 {
+    let _t = Instant::now();
+    seed + 1
+}

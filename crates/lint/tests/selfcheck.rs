@@ -1,0 +1,25 @@
+//! Self-application: ssr-lint must run clean over its own sources and
+//! over the whole workspace tree (the CI gate, in test form — if this
+//! fails, fix the violation or waive it in place with a reason).
+
+use std::path::{Path, PathBuf};
+
+#[test]
+fn lint_is_clean_over_its_own_sources() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let report = ssr_lint::lint_tree(&root).expect("lint crate tree is readable");
+    assert!(report.files_scanned >= 5, "expected src/*.rs to be scanned");
+    assert!(report.is_clean(), "\n{}", report.render_human());
+}
+
+#[test]
+fn workspace_tree_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    assert!(
+        Path::new(&root).join("Cargo.toml").exists(),
+        "workspace root not found from CARGO_MANIFEST_DIR"
+    );
+    let report = ssr_lint::lint_tree(&root).expect("workspace tree is readable");
+    assert!(report.files_scanned >= 50, "suspiciously few files scanned");
+    assert!(report.is_clean(), "\n{}", report.render_human());
+}

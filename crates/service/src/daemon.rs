@@ -354,8 +354,14 @@ impl Daemon {
                 continue; // keep queued; a later sweep admits it
             }
 
-            // Claim and spawn.
-            let running = self.cfg.dir.join("running").join(path.file_name().unwrap());
+            // Claim and spawn. A spool path without a final component
+            // cannot be claimed by rename; fail it like any other
+            // malformed submission instead of aborting the daemon.
+            let Some(job_name) = path.file_name() else {
+                self.fail(&path, "spool entry has no file name")?;
+                continue;
+            };
+            let running = self.cfg.dir.join("running").join(job_name);
             fs::rename(&path, &running)?;
             *available -= cost;
             let run_cfg = RunConfig {
@@ -446,8 +452,12 @@ impl WorkerCtx {
             }
             Ok(RunDisposition::Interrupted { .. }) => {
                 // Leave checkpoints in place, requeue for a successor.
-                let name = self.running.file_name().unwrap().to_owned();
-                let _ = fs::rename(&self.running, self.dir.join("pending").join(name));
+                // `running` always ends in a file name (the daemon built
+                // it with `join(job_name)`); if that ever breaks, skip
+                // the rename and let the orphan sweep requeue the job.
+                if let Some(name) = self.running.file_name() {
+                    let _ = fs::rename(&self.running, self.dir.join("pending").join(name));
+                }
                 WorkerOutcome::Interrupted
             }
             Err(e) => {

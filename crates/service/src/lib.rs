@@ -48,7 +48,7 @@
 //! Submitting the same spec twice is naturally idempotent: the file name
 //! *is* the content key.
 
-#![forbid(unsafe_code)]
+// `unsafe_code = "forbid"` comes from [workspace.lints] in the root manifest.
 #![warn(missing_docs)]
 
 pub mod cache;

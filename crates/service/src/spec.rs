@@ -217,12 +217,20 @@ impl JobSpec {
     /// Returns [`ServiceError::Spec`] when the protocol is unknown.
     pub fn key(&self) -> Result<JobKey, ServiceError> {
         let protocol = self.make_protocol()?;
+        // `make_protocol` succeeding implies the name resolves, but a
+        // typed error beats a daemon abort if the two maps ever drift.
+        let canonical = canonical_protocol(&self.protocol).ok_or_else(|| {
+            ServiceError::Spec(format!(
+                "unknown protocol '{}' (expected generic|ring|line|tree)",
+                self.protocol
+            ))
+        })?;
         let mut lo = Fnv::new(0xCBF2_9CE4_8422_2325);
         let mut hi = Fnv::new(0x6C62_272E_07BB_0142); // independent basis
         for h in [&mut lo, &mut hi] {
             h.word(1); // key-derivation version
             h.word(protocol.schema_hash());
-            h.bytes(canonical_protocol(&self.protocol).unwrap().as_bytes());
+            h.bytes(canonical.as_bytes());
             h.word(self.n as u64);
             h.word(self.init.code());
             h.word(self.engine.resolve(self.n) as u64);
@@ -230,6 +238,9 @@ impl JobSpec {
             h.word(self.max_interactions);
             h.word(self.bursts.len() as u64);
             for &(t, f) in &self.bursts {
+                // Audited: a u128 burst time hashes as its two u64
+                // halves — the low-word narrow is the point.
+                #[allow(clippy::cast_possible_truncation)]
                 h.word(t as u64);
                 h.word((t >> 64) as u64);
                 h.word(f as u64);

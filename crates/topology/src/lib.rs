@@ -23,7 +23,12 @@
 //! assert_eq!(ring.num_states(), 12);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe_code = "forbid"` comes from [workspace.lints] in the root manifest.
+// Truncation-cast audit (workspace denies `cast_possible_truncation`):
+// geometry code converts between u64 pre-order node ids and usize
+// indices; every narrow is bounded by the tree size `n`, which fits
+// usize by construction (the tree is addressable memory).
+#![allow(clippy::cast_possible_truncation)]
 #![warn(missing_docs)]
 
 pub mod balanced_tree;

@@ -8,6 +8,9 @@
 //!
 //! Run: `cargo run --release --example fault_recovery`
 
+// Audited: example casts a tiny bounded f64 value to usize.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr::engine::faults::{rank_distance, recovery_after_faults};
 use ssr::prelude::*;
 

@@ -7,6 +7,9 @@
 //!
 //! Run with: `cargo run --release --example leader_election`
 
+// Audited: example casts a tiny bounded f64 value to usize.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

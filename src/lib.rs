@@ -52,7 +52,7 @@
 //! comparisons, and k-distant recovery scenarios; `crates/bench` hosts the
 //! experiment binaries that regenerate the paper's complexity tables.
 
-#![forbid(unsafe_code)]
+// `unsafe_code = "forbid"` comes from [workspace.lints] in the root manifest.
 #![warn(missing_docs)]
 
 pub use ssr_analysis as analysis;

@@ -4,6 +4,9 @@
 //! across all three engines), plus bit-identical jump↔count trajectories
 //! per seed when batching is off.
 
+// Audited: tests cast tiny bounded f64/u64 values (n <= 10^4) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr::prelude::*;
 
 fn mean_time<P: InteractionSchema>(

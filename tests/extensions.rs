@@ -3,6 +3,9 @@
 //! and the distributional analysis toolkit — exercised together through
 //! the umbrella `ssr` crate, the way a downstream user would.
 
+// Audited: tests cast tiny bounded f64/u64 values (n <= 10^4) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr::analysis::bootstrap::{median_ci, BootstrapOptions};
 use ssr::analysis::modelcheck::ModelCheckError;
 use ssr::engine::faults::{rank_distance, recovery_after_faults};

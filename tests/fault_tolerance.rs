@@ -2,6 +2,9 @@
 //! (not just at silent configurations) never prevents eventual silent
 //! ranking — the defining property of self-stabilisation.
 
+// Audited: tests cast tiny bounded f64/u64 values (n <= 10^4) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr::engine::observer::NullObserver;
 use ssr::prelude::*;
 

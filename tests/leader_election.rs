@@ -1,6 +1,9 @@
 //! Leader election built on ranking: liveness, uniqueness, and recovery
 //! from transient faults — for every protocol.
 
+// Audited: tests cast tiny bounded f64/u64 values (n <= 10^4) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr::prelude::*;
 
 #[test]

@@ -1,5 +1,8 @@
 //! Executable checks of the paper's Facts and Lemmas, across crates.
 
+// Audited: tests cast tiny bounded f64/u64 values (n <= 10^4) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr::engine::observer::{FnObserver, TransitionEvent};
 use ssr::prelude::*;
 

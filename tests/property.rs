@@ -2,6 +2,9 @@
 //! generators, layout bijections, conservation laws, and the Lemma 5/10
 //! machinery under arbitrary inputs.
 
+// Audited: tests cast tiny bounded f64/u64 values (n <= 10^4) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use proptest::prelude::*;
 use ssr::prelude::*;
 

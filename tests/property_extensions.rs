@@ -2,6 +2,9 @@
 //! schedulers, the loose protocol's transition table, and the ECDF /
 //! bootstrap analysis tools — invariants under arbitrary inputs.
 
+// Audited: tests cast tiny bounded f64/u64 values (n <= 10^4) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use proptest::prelude::*;
 use ssr::analysis::bootstrap::{bootstrap_ci, BootstrapOptions};
 use ssr::analysis::ecdf::{Ecdf, Histogram};

@@ -4,6 +4,9 @@
 //! additionally satisfy the full ranking contract, and the schema must be
 //! consistent across protocol sizes including the degenerate ones.
 
+// Audited: tests cast tiny bounded f64/u64 values (n <= 10^4) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr::prelude::*;
 use ssr::protocols::loose::LooseLeaderElection;
 use ssr_engine::protocol::validate_ranking_contract;

@@ -2,6 +2,9 @@
 //! adversarial starting configurations, reaches a silent perfect ranking —
 //! and silent configurations are truly stable.
 
+// Audited: tests cast tiny bounded f64/u64 values (n <= 10^4) to usize/u32.
+#![allow(clippy::cast_possible_truncation)]
+
 use ssr::prelude::*;
 
 /// All four protocols boxed behind the simulable trait.
